@@ -1,0 +1,53 @@
+#include "bench_common.h"
+
+#include <cstdio>
+
+namespace lapse {
+namespace bench {
+
+std::vector<Scale> DefaultScales() {
+  return {{1, 2}, {2, 2}, {4, 2}, {8, 2}};
+}
+
+std::string ScaleName(const Scale& s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%dx%d", s.nodes, s.workers);
+  return buf;
+}
+
+net::LatencyConfig BenchLatency() {
+  net::LatencyConfig lat;
+  lat.remote_base_ns = 30'000;
+  lat.local_base_ns = 2'000;
+  // Calibrated so that the compute-to-bandwidth ratio matches the paper's
+  // testbed (10 GbE next to 2013-era Xeons): our per-thread compute is
+  // roughly 3-4x faster, so the simulated links are proportionally faster.
+  lat.per_byte_ns = 0.3;
+  lat.jitter_fraction = 0.0;
+  return lat;
+}
+
+std::vector<PsVariant> ClassicVsLapseVariants() {
+  return {
+      {"Classic PS (PS-Lite)", ps::Architecture::kClassic, false},
+      {"Classic PS + fast local access", ps::Architecture::kClassicFastLocal,
+       false},
+      {"Lapse (DPA)", ps::Architecture::kLapse, true},
+  };
+}
+
+void PrintBanner(const std::string& title, const std::string& paper_ref,
+                 const std::string& notes) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  if (!notes.empty()) std::printf("%s\n", notes.c_str());
+  std::printf("================================================================\n");
+}
+
+double Speedup(double single_node_seconds, double seconds) {
+  return seconds > 0 ? single_node_seconds / seconds : 0.0;
+}
+
+}  // namespace bench
+}  // namespace lapse

@@ -1,0 +1,47 @@
+#ifndef LAPSE_BENCH_BENCH_COMMON_H_
+#define LAPSE_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "net/latency_model.h"
+#include "ps/config.h"
+
+namespace lapse {
+namespace bench {
+
+// One cluster size of the paper's scaling axis ("nodes x threads"). The
+// paper runs 1x4 .. 8x4 on real machines; the simulated benches default to
+// 2 worker threads per node to stay within a laptop's cores at 8 nodes.
+struct Scale {
+  int nodes;
+  int workers;
+};
+
+std::vector<Scale> DefaultScales();
+std::string ScaleName(const Scale& s);
+
+// Simulated interconnect used by all benches: ~30us between nodes (10 GbE
+// ballpark), ~2us loop-back (PS-Lite-style IPC), ~1ns/byte.
+net::LatencyConfig BenchLatency();
+
+// The three PS variants the paper ablates (Section 4.6).
+struct PsVariant {
+  const char* name;
+  ps::Architecture arch;
+  bool use_localize;  // trainers skip localize for classic variants
+};
+
+std::vector<PsVariant> ClassicVsLapseVariants();
+
+// Prints the standard bench banner (what figure/table, what substitution).
+void PrintBanner(const std::string& title, const std::string& paper_ref,
+                 const std::string& notes);
+
+// seconds(1 node) / seconds(n nodes), guarding division by zero.
+double Speedup(double single_node_seconds, double seconds);
+
+}  // namespace bench
+}  // namespace lapse
+
+#endif  // LAPSE_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,73 @@
+// Reproduces Figure 1 (the paper's headline figure): epoch run time of
+// RESCAL knowledge-graph-embedding training under (i) a classic PS,
+// (ii) a classic PS with fast local access, and (iii) Lapse with dynamic
+// parameter allocation.
+//
+// Expected shape (paper): both classic variants get slower with more nodes
+// (communication overhead dominates and fast local access alone does not
+// help); Lapse scales near-linearly.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "kge/kg_gen.h"
+#include "kge/kge_train.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace lapse;
+  bench::PrintBanner(
+      "Figure 1: RESCAL epoch run time, classic PS vs Lapse",
+      "Renz-Wieland et al., VLDB'20, Figure 1 (RESCAL, dim 100)",
+      "Synthetic KG, RESCAL dim 128 (relation params dim^2=16384 values).");
+
+  kge::KgGenConfig gen;
+  gen.num_entities = 8000;
+  gen.entity_skew = 0.4;
+  gen.num_relations = 64;
+  gen.num_triples = 8000;
+  gen.seed = 41;
+  const kge::KnowledgeGraph kg = GenerateKg(gen);
+
+  TablePrinter table({"system", "parallelism", "epoch_s",
+                      "speedup_vs_1node"});
+  struct Variant {
+    const char* name;
+    ps::Architecture arch;
+    bool clustering;
+    bool latency_hiding;
+  };
+  const std::vector<Variant> variants = {
+      {"Classic PS (PS-Lite)", ps::Architecture::kClassic, false, false},
+      {"Classic PS + fast local access", ps::Architecture::kClassicFastLocal,
+       false, false},
+      {"Lapse (DPA)", ps::Architecture::kLapse, true, true},
+  };
+  for (const Variant& variant : variants) {
+    double single_node = 0;
+    for (const bench::Scale& scale : bench::DefaultScales()) {
+      kge::KgeConfig cfg;
+      cfg.model = kge::KgeConfig::Model::kRescal;
+      cfg.dim = 128;
+      cfg.neg_samples = 4;
+      cfg.epochs = 1;
+      cfg.data_clustering = variant.clustering;
+      cfg.latency_hiding = variant.latency_hiding;
+      ps::Config pscfg = MakeKgePsConfig(kg, cfg, scale.nodes, scale.workers,
+                                         bench::BenchLatency());
+      pscfg.arch = variant.arch;
+      ps::PsSystem system(pscfg);
+      InitKgeParams(system, kg, cfg);
+      const auto results = TrainKge(system, kg, cfg);
+      const double seconds = results.back().seconds;
+      if (scale.nodes == 1) single_node = seconds;
+      table.AddRow({variant.name, bench::ScaleName(scale),
+                    TablePrinter::Num(seconds, 3),
+                    TablePrinter::Num(bench::Speedup(single_node, seconds),
+                                      2)});
+    }
+  }
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Reproduces Figure 8: word2vec skip-gram training.
+//  (a) epoch run time across cluster sizes (classic+fast-local vs Lapse),
+//  (b) error over epochs for Lapse at each cluster size,
+//  (c) error over wall-clock time.
+//
+// Expected shape (paper): the classic approach does not scale (8 nodes
+// slower than 1); Lapse reaches a given error level faster with more
+// nodes, with a smaller speedup than other tasks because the Zipf-skewed
+// access pattern causes localization conflicts.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/table_printer.h"
+#include "w2v/corpus.h"
+#include "w2v/w2v_train.h"
+
+namespace lapse {
+namespace {
+
+w2v::W2vConfig BaseConfig() {
+  w2v::W2vConfig cfg;
+  cfg.dim = 16;      // paper: 1000
+  cfg.window = 4;    // paper: 5
+  cfg.negatives = 3; // paper: 25
+  cfg.lr = 0.05f;
+  cfg.presample_size = 400;   // paper: 4000
+  cfg.presample_refresh = 390;  // paper: 3900
+  cfg.seed = 51;
+  return cfg;
+}
+
+}  // namespace
+}  // namespace lapse
+
+int main() {
+  using namespace lapse;
+  bench::PrintBanner(
+      "Figure 8: word vectors (skip-gram with negative sampling)",
+      "Renz-Wieland et al., VLDB'20, Figure 8 (a), (b), (c)",
+      "Zipf corpus stands in for the One Billion Word Benchmark; held-out "
+      "SGNS loss stands in for the analogy error metric.");
+
+  w2v::CorpusGenConfig gen;
+  gen.vocab_size = 2000;
+  gen.num_sentences = 600;
+  gen.sentence_length = 15;
+  gen.seed = 52;
+  const w2v::Corpus corpus = GenerateCorpus(gen);
+  std::printf("corpus: vocab %u, %zu sentences, %lld tokens\n",
+              corpus.vocab_size, corpus.sentences.size(),
+              static_cast<long long>(corpus.total_tokens()));
+
+  // (a) Epoch run time.
+  std::printf("\n--- (a) epoch run time ---\n");
+  {
+    TablePrinter table(
+        {"system", "parallelism", "epoch_s", "speedup_vs_1node"});
+    struct Variant {
+      const char* name;
+      ps::Architecture arch;
+      bool latency_hiding;
+    };
+    const std::vector<Variant> variants = {
+        {"Classic PS + fast local access",
+         ps::Architecture::kClassicFastLocal, false},
+        {"Lapse (latency hiding)", ps::Architecture::kLapse, true},
+    };
+    for (const Variant& variant : variants) {
+      double single_node = 0;
+      for (const bench::Scale& scale : bench::DefaultScales()) {
+        w2v::W2vConfig cfg = BaseConfig();
+        cfg.epochs = 1;
+        cfg.latency_hiding = variant.latency_hiding;
+        cfg.local_only_negatives = variant.latency_hiding;
+        ps::Config pscfg = MakeW2vPsConfig(corpus, cfg, scale.nodes,
+                                           scale.workers,
+                                           bench::BenchLatency());
+        pscfg.arch = variant.arch;
+        ps::PsSystem system(pscfg);
+        InitW2vParams(system, corpus, cfg);
+        const auto results = TrainW2v(system, corpus, cfg);
+        const double seconds = results.back().seconds;
+        if (scale.nodes == 1) single_node = seconds;
+        table.AddRow({variant.name, bench::ScaleName(scale),
+                      TablePrinter::Num(seconds, 3),
+                      TablePrinter::Num(
+                          bench::Speedup(single_node, seconds), 2)});
+      }
+    }
+    table.Print(std::cout);
+  }
+
+  // (b) + (c): error over epochs and over run time for Lapse.
+  std::printf("\n--- (b)/(c) error over epochs and run time (Lapse) ---\n");
+  {
+    TablePrinter table({"parallelism", "epoch", "cumulative_s", "error"});
+    for (const bench::Scale& scale : bench::DefaultScales()) {
+      w2v::W2vConfig cfg = BaseConfig();
+      cfg.epochs = 1;
+      ps::Config pscfg = MakeW2vPsConfig(corpus, cfg, scale.nodes,
+                                         scale.workers,
+                                         bench::BenchLatency());
+      ps::PsSystem system(pscfg);
+      InitW2vParams(system, corpus, cfg);
+      double cumulative = 0;
+      for (int epoch = 1; epoch <= 4; ++epoch) {
+        const auto results = TrainW2v(system, corpus, cfg);
+        cumulative += results.back().seconds;
+        const double err = W2vEvalLoss(system, corpus, cfg, 2000);
+        table.AddRow({bench::ScaleName(scale), TablePrinter::Int(epoch),
+                      TablePrinter::Num(cumulative, 3),
+                      TablePrinter::Num(err, 5)});
+      }
+    }
+    table.Print(std::cout);
+  }
+  return 0;
+}

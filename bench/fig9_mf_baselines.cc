@@ -1,0 +1,122 @@
+// Reproduces Figure 9: matrix factorization on Lapse vs a bounded-staleness
+// PS (Petuum-like, client-sync and server-sync) vs a specialized low-level
+// implementation.
+//
+// Expected shape (paper): Lapse and the low-level implementation scale
+// linearly (low-level ~2-2.6x faster in absolute terms); the stale PS beats
+// the classic PS but not Lapse; server-sync includes a slower warm-up
+// epoch.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "lowlevel/block_mf.h"
+#include "mf/dsgd.h"
+#include "mf/matrix_gen.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace lapse;
+  bench::PrintBanner(
+      "Figure 9: MF on Lapse vs stale PS (Petuum) vs low-level baseline",
+      "Renz-Wieland et al., VLDB'20, Figure 9 (a)/(b)",
+      "One scaled-down matrix; stale PS uses staleness 1 with one clock "
+      "per subepoch (Appendix A).");
+
+  mf::MatrixGenConfig gen;
+  gen.rows = 4000;
+  gen.cols = 1000;
+  gen.nnz = 100000;
+  gen.rank = 8;
+  gen.seed = 61;
+  const mf::SparseMatrix matrix = GenerateLowRankMatrix(gen);
+  std::printf("matrix: %llu x %llu, %zu entries, rank 8\n",
+              static_cast<unsigned long long>(matrix.rows),
+              static_cast<unsigned long long>(matrix.cols), matrix.nnz());
+
+  TablePrinter table({"system", "parallelism", "epoch_s",
+                      "speedup_vs_1node", "note"});
+
+  // --- Lapse -------------------------------------------------------------
+  {
+    double single_node = 0;
+    for (const bench::Scale& scale : bench::DefaultScales()) {
+      mf::DsgdConfig cfg;
+      cfg.rank = 8;
+      cfg.epochs = 2;
+      ps::Config pscfg = MakeDsgdPsConfig(matrix, cfg, scale.nodes,
+                                          scale.workers,
+                                          bench::BenchLatency());
+      ps::PsSystem system(pscfg);
+      InitFactorsPs(system, matrix, cfg);
+      const auto results = TrainDsgdOnPs(system, matrix, cfg);
+      const double seconds = results.back().seconds;
+      if (scale.nodes == 1) single_node = seconds;
+      table.AddRow({"Lapse", bench::ScaleName(scale),
+                    TablePrinter::Num(seconds, 3),
+                    TablePrinter::Num(bench::Speedup(single_node, seconds),
+                                      2),
+                    ""});
+    }
+  }
+
+  // --- Stale PS, both synchronization strategies -------------------------
+  for (const stale::SyncMode mode :
+       {stale::SyncMode::kClientSync, stale::SyncMode::kServerSync}) {
+    double single_node = 0;
+    for (const bench::Scale& scale : bench::DefaultScales()) {
+      mf::DsgdConfig cfg;
+      cfg.rank = 8;
+      cfg.epochs = 2;  // epoch 1 = warm-up for server-sync
+      stale::SspConfig ssp;
+      ssp.num_nodes = scale.nodes;
+      ssp.workers_per_node = scale.workers;
+      ssp.num_keys = matrix.rows + matrix.cols;
+      ssp.value_length = cfg.rank;
+      ssp.staleness = 1;
+      ssp.sync_mode = mode;
+      ssp.latency = bench::BenchLatency();
+      stale::SspSystem system(ssp);
+      InitFactorsSsp(system, matrix, cfg);
+      const auto results = TrainDsgdOnSsp(system, matrix, cfg);
+      const double warmup = results.front().seconds;
+      const double seconds = results.back().seconds;
+      if (scale.nodes == 1) single_node = seconds;
+      const std::string name =
+          std::string("Stale PS (Petuum), ") +
+          (mode == stale::SyncMode::kClientSync ? "client sync"
+                                                : "server sync");
+      char note[64];
+      std::snprintf(note, sizeof(note), "warm-up epoch %.3fs", warmup);
+      table.AddRow({name, bench::ScaleName(scale),
+                    TablePrinter::Num(seconds, 3),
+                    TablePrinter::Num(bench::Speedup(single_node, seconds),
+                                      2),
+                    mode == stale::SyncMode::kServerSync ? note : ""});
+    }
+  }
+
+  // --- Low-level specialized implementation ------------------------------
+  {
+    double single_node = 0;
+    for (const bench::Scale& scale : bench::DefaultScales()) {
+      lowlevel::BlockMfConfig cfg;
+      cfg.rank = 8;
+      cfg.epochs = 2;
+      cfg.latency = bench::BenchLatency();
+      const auto results =
+          TrainBlockMf(matrix, cfg, scale.nodes * scale.workers);
+      const double seconds = results.back().seconds;
+      if (scale.nodes == 1) single_node = seconds;
+      table.AddRow({"Low-level (specialized, tuned)",
+                    bench::ScaleName(scale), TablePrinter::Num(seconds, 3),
+                    TablePrinter::Num(bench::Speedup(single_node, seconds),
+                                      2),
+                    ""});
+    }
+  }
+
+  table.Print(std::cout);
+  return 0;
+}

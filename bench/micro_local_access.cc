@@ -1,0 +1,107 @@
+// Micro-benchmark for Section 3.3's claim that shared-memory access to
+// local parameters is substantially (paper: up to 6x vs queue hand-off;
+// 71-91x vs PS-Lite IPC) faster than routing local accesses through the
+// server thread.
+//
+// BM_SharedMemoryPull: Lapse fast path (latch + memcpy).
+// BM_ViaServerPull:    same pull forced through the message path with zero
+//                      modelled latency -- isolates the hand-off overhead.
+// BM_ViaServerPullIpcLatency: message path with the 2us loop-back latency
+//                      that models PS-Lite's inter-process communication.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "ps/system.h"
+
+namespace lapse {
+namespace {
+
+constexpr uint64_t kKeys = 1024;
+constexpr size_t kLen = 32;
+
+std::unique_ptr<ps::PsSystem> MakeSystem(ps::Architecture arch,
+                                         int64_t local_ns) {
+  ps::Config cfg;
+  cfg.num_nodes = 1;
+  cfg.workers_per_node = 1;
+  cfg.num_keys = kKeys;
+  cfg.uniform_value_length = kLen;
+  cfg.arch = arch;
+  cfg.latency.remote_base_ns = 0;
+  cfg.latency.local_base_ns = local_ns;
+  cfg.latency.per_byte_ns = 0;
+  return std::make_unique<ps::PsSystem>(cfg);
+}
+
+void PullLoop(ps::PsSystem& system, benchmark::State& state) {
+  system.Run([&](ps::Worker& w) {
+    std::vector<Val> buf(kLen);
+    uint64_t k = 0;
+    for (auto _ : state) {
+      w.Pull({k % kKeys}, buf.data());
+      benchmark::DoNotOptimize(buf.data());
+      ++k;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  });
+}
+
+void BM_SharedMemoryPull(benchmark::State& state) {
+  auto system = MakeSystem(ps::Architecture::kLapse, 0);
+  PullLoop(*system, state);
+}
+BENCHMARK(BM_SharedMemoryPull);
+
+void BM_SharedMemoryPush(benchmark::State& state) {
+  auto system = MakeSystem(ps::Architecture::kLapse, 0);
+  system->Run([&](ps::Worker& w) {
+    std::vector<Val> delta(kLen, 0.001f);
+    uint64_t k = 0;
+    for (auto _ : state) {
+      w.Push({k % kKeys}, delta.data());
+      ++k;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  });
+}
+BENCHMARK(BM_SharedMemoryPush);
+
+void BM_ViaServerPull(benchmark::State& state) {
+  auto system = MakeSystem(ps::Architecture::kClassic, 0);
+  PullLoop(*system, state);
+}
+BENCHMARK(BM_ViaServerPull);
+
+void BM_ViaServerPullIpcLatency(benchmark::State& state) {
+  auto system = MakeSystem(ps::Architecture::kClassic, 2'000);
+  PullLoop(*system, state);
+}
+BENCHMARK(BM_ViaServerPullIpcLatency);
+
+void BM_SharedMemoryGroupedPull(benchmark::State& state) {
+  auto system = MakeSystem(ps::Architecture::kLapse, 0);
+  const size_t group = static_cast<size_t>(state.range(0));
+  system->Run([&](ps::Worker& w) {
+    std::vector<Val> buf(kLen * group);
+    std::vector<Key> keys(group);
+    uint64_t base = 0;
+    for (auto _ : state) {
+      for (size_t i = 0; i < group; ++i) {
+        keys[i] = (base + i * 7 + 1) % kKeys;
+      }
+      w.Pull(keys, buf.data());
+      ++base;
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * group));
+  });
+}
+BENCHMARK(BM_SharedMemoryGroupedPull)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace lapse
+
+BENCHMARK_MAIN();

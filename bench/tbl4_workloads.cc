@@ -1,0 +1,164 @@
+// Reproduces Table 4: the six workloads (two matrix factorizations, three
+// knowledge-graph-embedding settings, one word-vectors setting) with model
+// size, data size, and the measured single-thread parameter access rate
+// (key accesses per second and MB/s of read parameters).
+//
+// All datasets are the scaled-down synthetic stand-ins used throughout the
+// benches; the interesting *relative* property -- which workloads are
+// access-rate-bound vs bandwidth-bound -- carries over.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "kge/kg_gen.h"
+#include "kge/kge_train.h"
+#include "mf/dsgd.h"
+#include "mf/matrix_gen.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+#include "w2v/corpus.h"
+#include "w2v/w2v_train.h"
+
+namespace lapse {
+namespace {
+
+struct AccessRate {
+  double keys_per_s;
+  double mb_per_s;
+};
+
+// Measured on 1 node, 1 worker, zero latency: pure access-path throughput.
+AccessRate Measure(ps::PsSystem& system, double seconds,
+                   int64_t bytes_per_key_hint) {
+  const int64_t keys =
+      system.TotalLocalReads() + system.TotalRemoteReads();
+  (void)bytes_per_key_hint;
+  return {seconds > 0 ? keys / seconds : 0,
+          seconds > 0
+              ? static_cast<double>(keys) * bytes_per_key_hint / seconds / 1e6
+              : 0};
+}
+
+}  // namespace
+}  // namespace lapse
+
+int main() {
+  using namespace lapse;
+  bench::PrintBanner("Table 4: workload statistics and access rates",
+                     "Renz-Wieland et al., VLDB'20, Table 4",
+                     "Measured single-threaded on one node.");
+
+  TablePrinter table({"task", "model", "#params", "param_MB", "#data",
+                      "keys_per_s", "MB_per_s"});
+
+  // --- matrix factorization (two matrices) -------------------------------
+  for (int which = 0; which < 2; ++which) {
+    mf::MatrixGenConfig gen;
+    gen.rows = which == 0 ? 4000 : 2000;
+    gen.cols = which == 0 ? 1000 : 2000;
+    gen.nnz = 40000;
+    gen.rank = 8;
+    gen.seed = 81 + which;
+    const mf::SparseMatrix m = GenerateLowRankMatrix(gen);
+    mf::DsgdConfig cfg;
+    cfg.rank = 8;
+    cfg.epochs = 1;
+    ps::Config pscfg =
+        MakeDsgdPsConfig(m, cfg, 1, 1, net::LatencyConfig::Zero());
+    ps::PsSystem system(pscfg);
+    InitFactorsPs(system, m, cfg);
+    const auto results = TrainDsgdOnPs(system, m, cfg);
+    const auto rate =
+        Measure(system, results[0].seconds, cfg.rank * sizeof(Val));
+    const uint64_t params = m.rows + m.cols;
+    table.AddRow({which == 0 ? "Matrix Factorization A"
+                             : "Matrix Factorization B",
+                  "Latent factors, rank 8", TablePrinter::Int(params),
+                  TablePrinter::Num(params * cfg.rank * sizeof(Val) / 1e6,
+                                    2),
+                  TablePrinter::Int(static_cast<int64_t>(m.nnz())),
+                  TablePrinter::Int(static_cast<int64_t>(rate.keys_per_s)),
+                  TablePrinter::Num(rate.mb_per_s, 1)});
+  }
+
+  // --- knowledge graph embeddings (three settings) -----------------------
+  {
+    kge::KgGenConfig gen;
+    gen.num_entities = 8000;
+  gen.entity_skew = 0.4;
+    gen.num_relations = 64;
+    gen.num_triples = 8000;
+    gen.seed = 83;
+    const kge::KnowledgeGraph kg = GenerateKg(gen);
+    struct Spec {
+      const char* name;
+      kge::KgeConfig::Model model;
+      size_t dim;
+    };
+    for (const auto& spec :
+         {Spec{"ComplEx-Small", kge::KgeConfig::Model::kComplEx, 32},
+          Spec{"ComplEx-Large", kge::KgeConfig::Model::kComplEx, 2048},
+          Spec{"RESCAL-Large", kge::KgeConfig::Model::kRescal, 128}}) {
+      kge::KgeConfig cfg;
+      cfg.model = spec.model;
+      cfg.dim = spec.dim;
+      cfg.neg_samples = 4;
+      cfg.epochs = 1;
+      ps::Config pscfg =
+          MakeKgePsConfig(kg, cfg, 1, 1, net::LatencyConfig::Zero());
+      ps::PsSystem system(pscfg);
+      InitKgeParams(system, kg, cfg);
+      const auto results = TrainKge(system, kg, cfg);
+      size_t param_vals = 0;
+      for (const size_t len : pscfg.value_lengths) param_vals += len;
+      auto model = MakeKgeModel(cfg);
+      const double avg_key_bytes =
+          static_cast<double>(param_vals) /
+          static_cast<double>(pscfg.value_lengths.size()) * sizeof(Val);
+      const auto rate = Measure(system, results[0].seconds,
+                                static_cast<int64_t>(avg_key_bytes));
+      table.AddRow(
+          {"Knowledge Graph Emb.", spec.name,
+           TablePrinter::Int(
+               static_cast<int64_t>(pscfg.value_lengths.size())),
+           TablePrinter::Num(param_vals * sizeof(Val) / 1e6, 2),
+           TablePrinter::Int(static_cast<int64_t>(kg.triples.size())),
+           TablePrinter::Int(static_cast<int64_t>(rate.keys_per_s)),
+           TablePrinter::Num(rate.mb_per_s, 1)});
+    }
+  }
+
+  // --- word vectors -------------------------------------------------------
+  {
+    w2v::CorpusGenConfig gen;
+    gen.vocab_size = 2000;
+    gen.num_sentences = 600;
+    gen.sentence_length = 15;
+    gen.seed = 84;
+    const w2v::Corpus corpus = GenerateCorpus(gen);
+    w2v::W2vConfig cfg;
+    cfg.dim = 16;
+    cfg.epochs = 1;
+    cfg.negatives = 3;
+    ps::Config pscfg =
+        MakeW2vPsConfig(corpus, cfg, 1, 1, net::LatencyConfig::Zero());
+    ps::PsSystem system(pscfg);
+    InitW2vParams(system, corpus, cfg);
+    const auto results = TrainW2v(system, corpus, cfg);
+    const auto rate =
+        Measure(system, results[0].seconds, cfg.dim * sizeof(Val));
+    table.AddRow(
+        {"Word Vectors", "Word2Vec SGNS, dim 16",
+         TablePrinter::Int(2 * corpus.vocab_size),
+         TablePrinter::Num(2.0 * corpus.vocab_size * cfg.dim * sizeof(Val) /
+                               1e6,
+                           2),
+         TablePrinter::Int(corpus.total_tokens()),
+         TablePrinter::Int(static_cast<int64_t>(rate.keys_per_s)),
+         TablePrinter::Num(rate.mb_per_s, 1)});
+  }
+
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Example: word2vec skip-gram with negative sampling, using latency hiding
+// for *all* parameters (paper Appendix A): sentence words are
+// pre-localized when a sentence is read, negatives are pre-sampled in
+// batches and pre-localized, and only currently-local negatives are used
+// (PullIfLocal), trading a slightly perturbed negative distribution for
+// fully local access.
+//
+//   ./examples/word_vectors
+
+#include <cstdio>
+
+#include "w2v/corpus.h"
+#include "w2v/w2v_train.h"
+
+int main() {
+  using namespace lapse;
+
+  w2v::CorpusGenConfig gen;
+  gen.vocab_size = 1500;
+  gen.num_sentences = 500;
+  gen.sentence_length = 15;
+  gen.seed = 99;
+  const w2v::Corpus corpus = GenerateCorpus(gen);
+  std::printf("corpus: %u words, %zu sentences, %lld tokens\n",
+              corpus.vocab_size, corpus.sentences.size(),
+              static_cast<long long>(corpus.total_tokens()));
+
+  w2v::W2vConfig cfg;
+  cfg.dim = 16;
+  cfg.window = 4;
+  cfg.negatives = 3;
+  cfg.lr = 0.05f;
+  cfg.epochs = 3;
+  cfg.latency_hiding = true;
+  cfg.local_only_negatives = true;
+  cfg.presample_size = 400;
+  cfg.presample_refresh = 390;
+
+  ps::Config pscfg = MakeW2vPsConfig(corpus, cfg, /*num_nodes=*/4,
+                                     /*workers_per_node=*/2,
+                                     net::LatencyConfig::Lan());
+  ps::PsSystem system(pscfg);
+  InitW2vParams(system, corpus, cfg);
+
+  std::printf("initial eval loss: %.4f\n",
+              W2vEvalLoss(system, corpus, cfg, 2000));
+  const auto results = TrainW2v(system, corpus, cfg);
+  for (size_t e = 0; e < results.size(); ++e) {
+    std::printf("epoch %zu: %.3fs, training loss %.4f\n", e + 1,
+                results[e].seconds, results[e].loss);
+  }
+  std::printf("final eval loss: %.4f\n",
+              W2vEvalLoss(system, corpus, cfg, 2000));
+
+  const int64_t local = system.TotalLocalReads();
+  const int64_t remote = system.TotalRemoteReads();
+  std::printf("reads: %lld local / %lld remote; %lld keys relocated\n",
+              static_cast<long long>(local),
+              static_cast<long long>(remote),
+              static_cast<long long>(system.TotalRelocatedKeys()));
+  return 0;
+}

@@ -1,0 +1,52 @@
+#include "kge/kge_model.h"
+#include "util/logging.h"
+
+namespace lapse {
+namespace kge {
+
+ComplExModel::ComplExModel(size_t dim) : dim_(dim), half_(dim / 2) {
+  LAPSE_CHECK_EQ(dim % 2, 0u) << "ComplEx dimension must be even";
+  LAPSE_CHECK_GT(dim, 0u);
+}
+
+float ComplExModel::Score(const Val* s, const Val* r, const Val* o) const {
+  // s = a + bi, r = c + di, o = e + fi (element-wise);
+  // score = sum_i Re(s_i r_i conj(o_i))
+  //       = sum_i (a c - b d) e + (a d + b c) f.
+  const Val* a = s;
+  const Val* b = s + half_;
+  const Val* c = r;
+  const Val* d = r + half_;
+  const Val* e = o;
+  const Val* f = o + half_;
+  float score = 0;
+  for (size_t i = 0; i < half_; ++i) {
+    score += (a[i] * c[i] - b[i] * d[i]) * e[i] +
+             (a[i] * d[i] + b[i] * c[i]) * f[i];
+  }
+  return score;
+}
+
+void ComplExModel::Gradients(const Val* s, const Val* r, const Val* o,
+                             Val* gs, Val* gr, Val* go) const {
+  const Val* a = s;
+  const Val* b = s + half_;
+  const Val* c = r;
+  const Val* d = r + half_;
+  const Val* e = o;
+  const Val* f = o + half_;
+  for (size_t i = 0; i < half_; ++i) {
+    // d(score)/da = c e + d f          d(score)/db = -d e + c f
+    gs[i] = c[i] * e[i] + d[i] * f[i];
+    gs[half_ + i] = -d[i] * e[i] + c[i] * f[i];
+    // d(score)/dc = a e + b f          d(score)/dd = -b e + a f
+    gr[i] = a[i] * e[i] + b[i] * f[i];
+    gr[half_ + i] = -b[i] * e[i] + a[i] * f[i];
+    // d(score)/de = a c - b d          d(score)/df = a d + b c
+    go[i] = a[i] * c[i] - b[i] * d[i];
+    go[half_ + i] = a[i] * d[i] + b[i] * c[i];
+  }
+}
+
+}  // namespace kge
+}  // namespace lapse

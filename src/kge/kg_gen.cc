@@ -1,0 +1,47 @@
+#include "kge/kg_gen.h"
+
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace lapse {
+namespace kge {
+
+KnowledgeGraph GenerateKg(const KgGenConfig& config) {
+  LAPSE_CHECK_GT(config.num_entities, 0u);
+  LAPSE_CHECK_GT(config.num_relations, 0u);
+  LAPSE_CHECK_GE(config.num_triples, config.num_entities);
+  LAPSE_CHECK_GE(config.num_triples, config.num_relations);
+
+  Rng rng(config.seed);
+  ZipfSampler entity_dist(config.num_entities, config.entity_skew);
+  ZipfSampler relation_dist(config.num_relations, config.relation_skew);
+
+  KnowledgeGraph kg;
+  kg.num_entities = config.num_entities;
+  kg.num_relations = config.num_relations;
+  kg.triples.reserve(config.num_triples);
+
+  // Coverage pass: every entity appears (as subject), every relation is
+  // used at least once.
+  for (uint32_t e = 0; e < config.num_entities; ++e) {
+    kg.triples.push_back(
+        Triple{e, static_cast<uint32_t>(relation_dist.Sample(rng)),
+               static_cast<uint32_t>(entity_dist.Sample(rng))});
+  }
+  for (uint32_t r = 0; r < config.num_relations; ++r) {
+    kg.triples.push_back(
+        Triple{static_cast<uint32_t>(entity_dist.Sample(rng)), r,
+               static_cast<uint32_t>(entity_dist.Sample(rng))});
+  }
+  while (kg.triples.size() < config.num_triples) {
+    kg.triples.push_back(
+        Triple{static_cast<uint32_t>(entity_dist.Sample(rng)),
+               static_cast<uint32_t>(relation_dist.Sample(rng)),
+               static_cast<uint32_t>(entity_dist.Sample(rng))});
+  }
+  return kg;
+}
+
+}  // namespace kge
+}  // namespace lapse

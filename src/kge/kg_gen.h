@@ -1,0 +1,42 @@
+#ifndef LAPSE_KGE_KG_GEN_H_
+#define LAPSE_KGE_KG_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace lapse {
+namespace kge {
+
+// A (subject, relation, object) fact.
+struct Triple {
+  uint32_t s;
+  uint32_t r;
+  uint32_t o;
+};
+
+struct KnowledgeGraph {
+  uint32_t num_entities = 0;
+  uint32_t num_relations = 0;
+  std::vector<Triple> triples;
+};
+
+// Synthetic knowledge-graph generator standing in for DBpedia-500k
+// (490k entities, 573 relations, 3M triples in the paper). Entity usage is
+// Zipf-skewed (real KGs have heavy-tailed degree distributions); relations
+// are Zipf-skewed too (DBpedia's relation frequencies are highly uneven).
+// Every entity and relation appears in at least one triple.
+struct KgGenConfig {
+  uint32_t num_entities = 5000;
+  uint32_t num_relations = 32;
+  uint32_t num_triples = 50000;
+  double entity_skew = 0.8;
+  double relation_skew = 0.9;
+  uint64_t seed = 1;
+};
+
+KnowledgeGraph GenerateKg(const KgGenConfig& config);
+
+}  // namespace kge
+}  // namespace lapse
+
+#endif  // LAPSE_KGE_KG_GEN_H_

@@ -1,0 +1,71 @@
+#ifndef LAPSE_KGE_KGE_MODEL_H_
+#define LAPSE_KGE_KGE_MODEL_H_
+
+#include <cstddef>
+
+#include "net/message.h"
+
+namespace lapse {
+namespace kge {
+
+// Scoring-function interface for knowledge-graph embedding models. The two
+// models the paper evaluates differ in the size of the relation parameter:
+// ComplEx uses a vector of the entity dimension; RESCAL uses a dense
+// (dim x dim) matrix -- which is exactly why data clustering pays off more
+// for RESCAL (Section 4.3).
+class KgeModel {
+ public:
+  virtual ~KgeModel() = default;
+
+  // Entity embedding dimension d.
+  virtual size_t entity_dim() const = 0;
+  // Relation parameter length (ComplEx: d; RESCAL: d*d).
+  virtual size_t relation_dim() const = 0;
+
+  // Score of a triple given raw parameter vectors.
+  virtual float Score(const Val* s, const Val* r, const Val* o) const = 0;
+
+  // Gradients of the score w.r.t. each parameter. Output buffers have
+  // entity_dim / relation_dim / entity_dim elements and are overwritten.
+  virtual void Gradients(const Val* s, const Val* r, const Val* o, Val* gs,
+                         Val* gr, Val* go) const = 0;
+};
+
+// ComplEx (Trouillon et al., ICML'16): embeddings are complex vectors of
+// d/2 complex numbers stored as [real half | imaginary half]; the score is
+// Re(<s, r, conj(o)>). `dim` must be even.
+class ComplExModel : public KgeModel {
+ public:
+  explicit ComplExModel(size_t dim);
+
+  size_t entity_dim() const override { return dim_; }
+  size_t relation_dim() const override { return dim_; }
+  float Score(const Val* s, const Val* r, const Val* o) const override;
+  void Gradients(const Val* s, const Val* r, const Val* o, Val* gs, Val* gr,
+                 Val* go) const override;
+
+ private:
+  size_t dim_;
+  size_t half_;
+};
+
+// RESCAL (Nickel et al., ICML'11): score = s^T M_r o with a full d x d
+// relation matrix (row-major).
+class RescalModel : public KgeModel {
+ public:
+  explicit RescalModel(size_t dim);
+
+  size_t entity_dim() const override { return dim_; }
+  size_t relation_dim() const override { return dim_ * dim_; }
+  float Score(const Val* s, const Val* r, const Val* o) const override;
+  void Gradients(const Val* s, const Val* r, const Val* o, Val* gs, Val* gr,
+                 Val* go) const override;
+
+ private:
+  size_t dim_;
+};
+
+}  // namespace kge
+}  // namespace lapse
+
+#endif  // LAPSE_KGE_KGE_MODEL_H_

@@ -1,0 +1,329 @@
+#include "kge/kge_train.h"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <unordered_map>
+
+#include "ml/adagrad.h"
+#include "ml/loss.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace lapse {
+namespace kge {
+namespace {
+
+// Deterministic negative entities for triple index `idx` (so the latency-
+// hiding path can pre-compute the key set of the *next* data point without
+// carrying sampler state).
+void NegativesFor(size_t idx, uint64_t seed, uint32_t num_entities,
+                  int per_side, std::vector<uint32_t>* neg_s,
+                  std::vector<uint32_t>* neg_o) {
+  Rng rng(Mix64(seed ^ (0xbeefULL + idx * 0x9e3779b97f4a7c15ULL)));
+  neg_s->clear();
+  neg_o->clear();
+  for (int i = 0; i < per_side; ++i) {
+    neg_s->push_back(static_cast<uint32_t>(rng.Uniform(num_entities)));
+    neg_o->push_back(static_cast<uint32_t>(rng.Uniform(num_entities)));
+  }
+}
+
+// Unique key set of triple `idx` (entities + optionally its relation).
+std::vector<Key> TripleKeys(const KnowledgeGraph& kg, const KgeConfig& cfg,
+                            const Triple& t, size_t idx,
+                            bool include_relation) {
+  std::vector<uint32_t> neg_s, neg_o;
+  NegativesFor(idx, cfg.seed, kg.num_entities, cfg.neg_samples, &neg_s,
+               &neg_o);
+  std::vector<Key> keys;
+  keys.push_back(EntityKey(t.s));
+  keys.push_back(EntityKey(t.o));
+  for (const uint32_t e : neg_s) keys.push_back(EntityKey(e));
+  for (const uint32_t e : neg_o) keys.push_back(EntityKey(e));
+  if (include_relation) keys.push_back(RelationKey(kg, t.r));
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+std::vector<Val> InitialKgeValue(Key key, size_t emb_len, uint64_t seed) {
+  Rng rng(Mix64(seed ^ (key * 0x2545f4914f6cdd1dULL + 17)));
+  std::vector<Val> v(2 * emb_len, 0.0f);  // [embedding | accumulator]
+  const float scale = 1.0f / std::sqrt(static_cast<float>(emb_len));
+  for (size_t i = 0; i < emb_len; ++i) {
+    v[i] = static_cast<float>(rng.NextGaussian()) * scale;
+  }
+  return v;
+}
+
+struct EpochAccumulator {
+  explicit EpochAccumulator(int epochs)
+      : results(epochs), loss_sum(epochs, 0.0), loss_n(epochs, 0) {}
+  std::mutex mu;
+  std::vector<KgeEpochResult> results;
+  std::vector<double> loss_sum;
+  std::vector<int64_t> loss_n;
+};
+
+}  // namespace
+
+std::unique_ptr<KgeModel> MakeKgeModel(const KgeConfig& config) {
+  switch (config.model) {
+    case KgeConfig::Model::kComplEx:
+      return std::make_unique<ComplExModel>(config.dim);
+    case KgeConfig::Model::kRescal:
+      return std::make_unique<RescalModel>(config.dim);
+  }
+  LAPSE_LOG(Fatal) << "unknown KGE model";
+  return nullptr;
+}
+
+ps::Config MakeKgePsConfig(const KnowledgeGraph& kg, const KgeConfig& config,
+                           int num_nodes, int workers_per_node,
+                           const net::LatencyConfig& latency) {
+  auto model = MakeKgeModel(config);
+  ps::Config cfg;
+  cfg.num_nodes = num_nodes;
+  cfg.workers_per_node = workers_per_node;
+  cfg.value_lengths.resize(kg.num_entities + kg.num_relations);
+  for (uint32_t e = 0; e < kg.num_entities; ++e) {
+    cfg.value_lengths[EntityKey(e)] = 2 * model->entity_dim();
+  }
+  for (uint32_t r = 0; r < kg.num_relations; ++r) {
+    cfg.value_lengths[RelationKey(kg, r)] = 2 * model->relation_dim();
+  }
+  cfg.latency = latency;
+  cfg.seed = config.seed;
+  return cfg;
+}
+
+void InitKgeParams(ps::PsSystem& system, const KnowledgeGraph& kg,
+                   const KgeConfig& config) {
+  auto model = MakeKgeModel(config);
+  for (uint32_t e = 0; e < kg.num_entities; ++e) {
+    const auto v =
+        InitialKgeValue(EntityKey(e), model->entity_dim(), config.seed);
+    system.SetValue(EntityKey(e), v.data());
+  }
+  for (uint32_t r = 0; r < kg.num_relations; ++r) {
+    const auto v = InitialKgeValue(RelationKey(kg, r),
+                                   model->relation_dim(), config.seed);
+    system.SetValue(RelationKey(kg, r), v.data());
+  }
+}
+
+std::vector<KgeEpochResult> TrainKge(ps::PsSystem& system,
+                                     const KnowledgeGraph& kg,
+                                     const KgeConfig& config) {
+  const int num_nodes = system.config().num_nodes;
+  const int workers_per_node = system.config().workers_per_node;
+  const int total_workers = system.config().total_workers();
+
+  // --- partition triples ------------------------------------------------
+  // Data clustering: relations are assigned to nodes with a greedy
+  // balanced bin-packing over triple counts (real relation frequencies are
+  // heavily skewed; naive modulo assignment would create stragglers). A
+  // node's triples are split round-robin among its workers. Without
+  // clustering: triples round-robin over all workers.
+  std::vector<std::vector<size_t>> triples_of(total_workers);
+  std::vector<int> node_of_relation(kg.num_relations, 0);
+  if (config.data_clustering) {
+    std::vector<int64_t> relation_count(kg.num_relations, 0);
+    for (const Triple& t : kg.triples) ++relation_count[t.r];
+    std::vector<uint32_t> order(kg.num_relations);
+    for (uint32_t r = 0; r < kg.num_relations; ++r) order[r] = r;
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      return relation_count[a] > relation_count[b];
+    });
+    std::vector<int64_t> node_load(num_nodes, 0);
+    for (const uint32_t r : order) {
+      const int node = static_cast<int>(
+          std::min_element(node_load.begin(), node_load.end()) -
+          node_load.begin());
+      node_of_relation[r] = node;
+      node_load[node] += relation_count[r];
+    }
+    std::vector<int> next_worker_of_node(num_nodes, 0);
+    for (size_t i = 0; i < kg.triples.size(); ++i) {
+      const int node = node_of_relation[kg.triples[i].r];
+      const int local = next_worker_of_node[node];
+      next_worker_of_node[node] = (local + 1) % workers_per_node;
+      triples_of[node * workers_per_node + local].push_back(i);
+    }
+  } else {
+    for (size_t i = 0; i < kg.triples.size(); ++i) {
+      triples_of[i % total_workers].push_back(i);
+    }
+  }
+
+  auto shared_model = MakeKgeModel(config);
+  const size_t ent_len = shared_model->entity_dim();
+  const size_t rel_len = shared_model->relation_dim();
+  EpochAccumulator acc(config.epochs);
+
+  system.Run([&](ps::Worker& w) {
+    auto model = MakeKgeModel(config);
+    const int wid = w.worker_id();
+    const std::vector<size_t>& mine = triples_of[wid];
+
+    // Data clustering: the first worker of each node pins the node's
+    // relation parameters (Appendix A: "allocated each relation parameter
+    // at the node that uses it").
+    if (config.data_clustering && wid % workers_per_node == 0) {
+      std::vector<Key> rel_keys;
+      for (uint32_t r = 0; r < kg.num_relations; ++r) {
+        if (node_of_relation[r] == w.node()) {
+          rel_keys.push_back(RelationKey(kg, r));
+        }
+      }
+      if (!rel_keys.empty()) w.Localize(rel_keys);
+    }
+    w.Barrier();
+
+    // Scratch buffers sized for the worst case key set of one data point.
+    const size_t max_keys = 2 + 2 * static_cast<size_t>(config.neg_samples) + 1;
+    std::vector<Val> values, grads, deltas;
+    values.reserve(max_keys * 2 * std::max(ent_len, rel_len));
+    std::vector<Val> gs(ent_len), gr(rel_len), go(ent_len);
+    std::vector<uint32_t> neg_s, neg_o;
+    Timer epoch_timer;
+
+    for (int epoch = 0; epoch < config.epochs; ++epoch) {
+      epoch_timer.Restart();
+      double loss = 0;
+      int64_t loss_n = 0;
+
+      const size_t lookahead =
+          config.lookahead < 1 ? 1 : static_cast<size_t>(config.lookahead);
+      // Latency hiding: pre-localize the first `lookahead` data points, then
+      // keep the pipeline `lookahead` deep.
+      if (config.latency_hiding) {
+        for (size_t ti = 0; ti < lookahead && ti < mine.size(); ++ti) {
+          const Triple& t = kg.triples[mine[ti]];
+          w.LocalizeAsync(TripleKeys(kg, config, t, mine[ti],
+                                     /*include_relation=*/
+                                     !config.data_clustering));
+        }
+      }
+      for (size_t ti = 0; ti < mine.size(); ++ti) {
+        const Triple& t = kg.triples[mine[ti]];
+
+        // Latency hiding: pre-localize a future data point's parameters so
+        // the relocation overlaps the computation of the points in between.
+        if (config.latency_hiding && ti + lookahead < mine.size()) {
+          const Triple& next = kg.triples[mine[ti + lookahead]];
+          w.LocalizeAsync(TripleKeys(kg, config, next, mine[ti + lookahead],
+                                     /*include_relation=*/
+                                     !config.data_clustering));
+        }
+
+        // Pull all parameters of this data point.
+        const std::vector<Key> keys =
+            TripleKeys(kg, config, t, mine[ti], /*include_relation=*/true);
+        std::unordered_map<Key, size_t> offset_of;
+        size_t total_len = 0;
+        for (const Key k : keys) {
+          offset_of[k] = total_len;
+          total_len += w.layout().Length(k);
+        }
+        values.assign(total_len, 0.0f);
+        grads.assign(total_len, 0.0f);
+        deltas.assign(total_len, 0.0f);
+        w.Pull(keys, values.data());
+
+        const Val* rel = values.data() + offset_of[RelationKey(kg, t.r)];
+        Val* rel_grad = grads.data() + offset_of[RelationKey(kg, t.r)];
+        auto entity = [&](uint32_t e) {
+          return values.data() + offset_of[EntityKey(e)];
+        };
+        auto entity_grad = [&](uint32_t e) {
+          return grads.data() + offset_of[EntityKey(e)];
+        };
+
+        auto accumulate = [&](uint32_t s_ent, uint32_t o_ent, float label) {
+          const Val* vs = entity(s_ent);
+          const Val* vo = entity(o_ent);
+          const float score = model->Score(vs, rel, vo);
+          loss += ml::LogisticLoss(score, label);
+          ++loss_n;
+          const float g = ml::LogisticLossGrad(score, label);
+          model->Gradients(vs, rel, vo, gs.data(), gr.data(), go.data());
+          Val* egs = entity_grad(s_ent);
+          Val* ego = entity_grad(o_ent);
+          for (size_t i = 0; i < ent_len; ++i) {
+            egs[i] += g * gs[i];
+            ego[i] += g * go[i];
+          }
+          for (size_t i = 0; i < rel_len; ++i) rel_grad[i] += g * gr[i];
+        };
+
+        NegativesFor(mine[ti], config.seed, kg.num_entities,
+                     config.neg_samples, &neg_s, &neg_o);
+        accumulate(t.s, t.o, +1.0f);
+        for (const uint32_t e : neg_s) accumulate(e, t.o, -1.0f);
+        for (const uint32_t e : neg_o) accumulate(t.s, e, -1.0f);
+
+        // AdaGrad deltas per key, pushed in one grouped operation.
+        for (const Key k : keys) {
+          const size_t off = offset_of[k];
+          const size_t emb = w.layout().Length(k) / 2;
+          ml::AdagradDelta(values.data() + off, grads.data() + off, emb,
+                           config.lr, deltas.data() + off);
+        }
+        w.Push(keys, deltas.data());
+      }
+
+      {
+        std::lock_guard<std::mutex> lock(acc.mu);
+        acc.loss_sum[epoch] += loss;
+        acc.loss_n[epoch] += loss_n;
+      }
+      w.Barrier();
+      if (wid == 0) {
+        std::lock_guard<std::mutex> lock(acc.mu);
+        acc.results[epoch].seconds = epoch_timer.ElapsedSeconds();
+      }
+      w.Barrier();
+    }
+  });
+
+  for (int e = 0; e < config.epochs; ++e) {
+    acc.results[e].loss =
+        acc.loss_n[e] == 0
+            ? 0.0
+            : acc.loss_sum[e] / static_cast<double>(acc.loss_n[e]);
+  }
+  return acc.results;
+}
+
+double KgeEvalLoss(ps::PsSystem& system, const KnowledgeGraph& kg,
+                   const KgeConfig& config, size_t sample_size) {
+  auto model = MakeKgeModel(config);
+  Rng rng(Mix64(config.seed ^ 0xe5a1ULL));
+  const size_t n = std::min(sample_size, kg.triples.size());
+  std::vector<Val> vs(2 * model->entity_dim());
+  std::vector<Val> vo(2 * model->entity_dim());
+  std::vector<Val> vneg(2 * model->entity_dim());
+  std::vector<Val> vr(2 * model->relation_dim());
+  double loss = 0;
+  int64_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const Triple& t = kg.triples[rng.Uniform(kg.triples.size())];
+    system.GetValue(EntityKey(t.s), vs.data());
+    system.GetValue(EntityKey(t.o), vo.data());
+    system.GetValue(RelationKey(kg, t.r), vr.data());
+    loss += ml::LogisticLoss(model->Score(vs.data(), vr.data(), vo.data()),
+                             +1.0f);
+    const uint32_t e = static_cast<uint32_t>(rng.Uniform(kg.num_entities));
+    system.GetValue(EntityKey(e), vneg.data());
+    loss += ml::LogisticLoss(model->Score(vs.data(), vr.data(), vneg.data()),
+                             -1.0f);
+    count += 2;
+  }
+  return count == 0 ? 0.0 : loss / static_cast<double>(count);
+}
+
+}  // namespace kge
+}  // namespace lapse

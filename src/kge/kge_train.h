@@ -1,0 +1,73 @@
+#ifndef LAPSE_KGE_KGE_TRAIN_H_
+#define LAPSE_KGE_KGE_TRAIN_H_
+
+#include <memory>
+#include <vector>
+
+#include "kge/kg_gen.h"
+#include "kge/kge_model.h"
+#include "ps/system.h"
+
+namespace lapse {
+namespace kge {
+
+// Knowledge-graph-embedding training configuration (Section 4.1 /
+// Appendix A of the paper): SGD with AdaGrad, negative sampling by
+// perturbing subject and object, AdaGrad accumulators stored in the PS.
+struct KgeConfig {
+  enum class Model { kComplEx, kRescal };
+
+  Model model = Model::kComplEx;
+  size_t dim = 16;      // entity embedding dimension
+  int neg_samples = 2;  // negatives per side (paper: 10)
+  float lr = 0.1f;      // AdaGrad initial learning rate (paper: 0.1)
+  int epochs = 1;
+  // PAL techniques (Appendix A): data clustering partitions the triples by
+  // relation and pins each relation parameter to the node that uses it;
+  // latency hiding pre-localizes the entity parameters of the *next* data
+  // point so the transfer overlaps the current computation.
+  bool data_clustering = true;
+  bool latency_hiding = true;
+  // How many data points ahead to pre-localize. The paper reports similar
+  // speed-ups for 1-3 and lower speed-ups for 10+ (Appendix A).
+  int lookahead = 2;
+  uint64_t seed = 3;
+};
+
+// PS key space: entity e -> key e; relation r -> key num_entities + r.
+inline Key EntityKey(uint32_t e) { return e; }
+inline Key RelationKey(const KnowledgeGraph& kg, uint32_t r) {
+  return static_cast<Key>(kg.num_entities) + r;
+}
+
+// Each PS value stores [embedding | adagrad accumulator], so entity keys
+// have length 2*dim and relation keys 2*relation_dim.
+std::unique_ptr<KgeModel> MakeKgeModel(const KgeConfig& config);
+
+ps::Config MakeKgePsConfig(const KnowledgeGraph& kg, const KgeConfig& config,
+                           int num_nodes, int workers_per_node,
+                           const net::LatencyConfig& latency);
+
+// Deterministic embedding initialization (accumulators zero).
+void InitKgeParams(ps::PsSystem& system, const KnowledgeGraph& kg,
+                   const KgeConfig& config);
+
+struct KgeEpochResult {
+  double seconds = 0;
+  double loss = 0;  // mean logistic loss over positive + negative samples
+};
+
+// Trains `config.epochs` epochs; returns one result per epoch.
+std::vector<KgeEpochResult> TrainKge(ps::PsSystem& system,
+                                     const KnowledgeGraph& kg,
+                                     const KgeConfig& config);
+
+// Mean logistic loss of a deterministic evaluation sample against the
+// current parameters (PS must be quiesced).
+double KgeEvalLoss(ps::PsSystem& system, const KnowledgeGraph& kg,
+                   const KgeConfig& config, size_t sample_size);
+
+}  // namespace kge
+}  // namespace lapse
+
+#endif  // LAPSE_KGE_KGE_TRAIN_H_

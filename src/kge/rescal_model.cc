@@ -1,0 +1,40 @@
+#include "kge/kge_model.h"
+#include "util/logging.h"
+
+namespace lapse {
+namespace kge {
+
+RescalModel::RescalModel(size_t dim) : dim_(dim) {
+  LAPSE_CHECK_GT(dim, 0u);
+}
+
+float RescalModel::Score(const Val* s, const Val* r, const Val* o) const {
+  // score = s^T M o, with M = r interpreted as a row-major dim x dim matrix.
+  float score = 0;
+  for (size_t i = 0; i < dim_; ++i) {
+    float mo = 0;
+    const Val* row = r + i * dim_;
+    for (size_t j = 0; j < dim_; ++j) mo += row[j] * o[j];
+    score += s[i] * mo;
+  }
+  return score;
+}
+
+void RescalModel::Gradients(const Val* s, const Val* r, const Val* o,
+                            Val* gs, Val* gr, Val* go) const {
+  // gs = M o ; go = M^T s ; gM = s o^T.
+  for (size_t j = 0; j < dim_; ++j) go[j] = 0;
+  for (size_t i = 0; i < dim_; ++i) {
+    const Val* row = r + i * dim_;
+    float mo = 0;
+    for (size_t j = 0; j < dim_; ++j) {
+      mo += row[j] * o[j];
+      go[j] += s[i] * row[j];
+      gr[i * dim_ + j] = s[i] * o[j];
+    }
+    gs[i] = mo;
+  }
+}
+
+}  // namespace kge
+}  // namespace lapse

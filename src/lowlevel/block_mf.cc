@@ -1,0 +1,131 @@
+#include "lowlevel/block_mf.h"
+
+#include <mutex>
+#include <thread>
+
+#include "mf/block_schedule.h"
+#include "net/network.h"
+#include "util/barrier.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace lapse {
+namespace lowlevel {
+
+using net::Message;
+using net::MsgType;
+
+std::vector<mf::EpochResult> TrainBlockMf(const mf::SparseMatrix& matrix,
+                                          const BlockMfConfig& config,
+                                          int num_workers) {
+  const mf::BlockSchedule schedule(matrix.rows, matrix.cols, num_workers);
+  const mf::DsgdPartition partition(matrix, schedule);
+  const int rank = config.rank;
+  const int T = num_workers;
+
+  net::Network network(T, config.latency, config.seed);
+  Barrier barrier(static_cast<size_t>(T));
+
+  std::mutex result_mu;
+  std::vector<mf::EpochResult> results(config.epochs);
+  std::vector<double> loss_sum(config.epochs, 0.0);
+  std::vector<int64_t> loss_n(config.epochs, 0);
+
+  std::vector<std::thread> threads;
+  threads.reserve(T);
+  for (int wid = 0; wid < T; ++wid) {
+    threads.emplace_back([&, wid] {
+      auto endpoint = network.CreateEndpoint(wid, /*thread=*/1);
+
+      // Row factors stay with their worker for the whole run.
+      const uint64_t row_begin = schedule.RowBegin(wid);
+      const uint64_t row_end = schedule.RowEnd(wid);
+      std::vector<Val> row_factors((row_end - row_begin) * rank);
+      for (uint64_t r = row_begin; r < row_end; ++r) {
+        const auto v = mf::InitialMfFactor(r, rank, config.seed);
+        std::copy(v.begin(), v.end(),
+                  row_factors.begin() + (r - row_begin) * rank);
+      }
+
+      // Worker wid starts with column block wid (= its subepoch-0 block).
+      int block = wid;
+      uint64_t block_begin = schedule.BlockBegin(block);
+      std::vector<Val> block_factors(
+          (schedule.BlockEnd(block) - block_begin) * rank);
+      for (uint64_t c = block_begin; c < schedule.BlockEnd(block); ++c) {
+        const auto v =
+            mf::InitialMfFactor(matrix.rows + c, rank, config.seed);
+        std::copy(v.begin(), v.end(),
+                  block_factors.begin() + (c - block_begin) * rank);
+      }
+
+      Timer epoch_timer;
+      for (int epoch = 0; epoch < config.epochs; ++epoch) {
+        epoch_timer.Restart();
+        double loss = 0;
+        int64_t n = 0;
+        for (int sub = 0; sub < T; ++sub) {
+          LAPSE_CHECK_EQ(block, schedule.BlockForWorker(wid, sub));
+          for (const uint32_t idx : partition.Entries(wid, block)) {
+            const mf::MatrixEntry& cell = matrix.entries[idx];
+            // In-place SGD step, directly on the factor arrays.
+            Val* wi = row_factors.data() +
+                      (cell.row - row_begin) * static_cast<uint64_t>(rank);
+            Val* hj = block_factors.data() +
+                      (cell.col - block_begin) * static_cast<uint64_t>(rank);
+            float dot = 0;
+            for (int t = 0; t < rank; ++t) dot += wi[t] * hj[t];
+            const float err = dot - cell.value;
+            loss += static_cast<double>(err) * err;
+            ++n;
+            for (int t = 0; t < rank; ++t) {
+              const float wt = wi[t];
+              wi[t] -= config.lr * (err * hj[t] + config.reg * wt);
+              hj[t] -= config.lr * (err * wt + config.reg * hj[t]);
+            }
+          }
+          // Hand the whole block to the predecessor in one message; receive
+          // the next block from the successor. (In subepoch sub+1, worker w
+          // needs block (w+sub+1)%T, currently held by worker w+1.)
+          if (T > 1) {
+            Message m;
+            m.type = MsgType::kBlockTransfer;
+            m.dst_node = (wid - 1 + T) % T;
+            m.aux.push_back(block);
+            m.vals = std::move(block_factors);
+            endpoint->Send(std::move(m));
+
+            Message in;
+            LAPSE_CHECK(network.Recv(wid, &in));
+            LAPSE_CHECK(in.type == MsgType::kBlockTransfer);
+            block = static_cast<int>(in.aux[0]);
+            block_begin = schedule.BlockBegin(block);
+            block_factors = std::move(in.vals);
+          }
+        }
+        {
+          std::lock_guard<std::mutex> lock(result_mu);
+          loss_sum[epoch] += loss;
+          loss_n[epoch] += n;
+        }
+        barrier.Wait();
+        if (wid == 0) {
+          std::lock_guard<std::mutex> lock(result_mu);
+          results[epoch].seconds = epoch_timer.ElapsedSeconds();
+        }
+        barrier.Wait();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (int e = 0; e < config.epochs; ++e) {
+    results[e].loss = loss_n[e] == 0
+                          ? 0.0
+                          : loss_sum[e] / static_cast<double>(loss_n[e]);
+  }
+  return results;
+}
+
+}  // namespace lowlevel
+}  // namespace lapse

@@ -1,0 +1,48 @@
+#ifndef LAPSE_LOWLEVEL_BLOCK_MF_H_
+#define LAPSE_LOWLEVEL_BLOCK_MF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mf/dsgd.h"
+#include "mf/matrix_gen.h"
+#include "net/latency_model.h"
+
+namespace lapse {
+namespace lowlevel {
+
+// Task-specific, manually-managed DSGD matrix factorization -- the paper's
+// low-level baseline (Section 4.4, DSGDpp-style).
+//
+// Differences from the PS-based trainer, mirroring what the paper credits
+// the low-level implementation with:
+//  * no key-value abstraction: factors live in plain arrays indexed by
+//    row/column id;
+//  * workers mutate factor blocks in place -- no copy out of / back into a
+//    store, no latches (safe because the blocking schedule makes accesses
+//    exclusive);
+//  * communication is block-granular: after each subepoch every worker
+//    hands its whole column block to its predecessor in one message.
+//
+// It is not usable for any other task -- exactly the trade-off the paper
+// discusses.
+struct BlockMfConfig {
+  int rank = 16;
+  float lr = 0.01f;
+  float reg = 0.02f;
+  int epochs = 1;
+  uint64_t seed = 7;
+  net::LatencyConfig latency = net::LatencyConfig::Lan();
+};
+
+// Runs DSGD with `num_workers` workers (each modelled as its own network
+// endpoint, like one MPI rank per core). Returns one result per epoch;
+// losses are comparable to TrainDsgdOnPs with the same seed.
+std::vector<mf::EpochResult> TrainBlockMf(const mf::SparseMatrix& matrix,
+                                          const BlockMfConfig& config,
+                                          int num_workers);
+
+}  // namespace lowlevel
+}  // namespace lapse
+
+#endif  // LAPSE_LOWLEVEL_BLOCK_MF_H_

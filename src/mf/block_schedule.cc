@@ -1,0 +1,46 @@
+#include "mf/block_schedule.h"
+
+#include "util/logging.h"
+
+namespace lapse {
+namespace mf {
+
+BlockSchedule::BlockSchedule(uint64_t rows, uint64_t cols, int num_workers)
+    : rows_(rows), cols_(cols), num_workers_(num_workers) {
+  LAPSE_CHECK_GT(num_workers, 0);
+  LAPSE_CHECK_GE(cols, static_cast<uint64_t>(num_workers));
+  LAPSE_CHECK_GE(rows, static_cast<uint64_t>(num_workers));
+}
+
+int BlockSchedule::BlockOfCol(uint64_t col) const {
+  // Inverse of BlockBegin: the unique b with BlockBegin(b) <= col <
+  // BlockEnd(b), also for non-divisible column counts.
+  return static_cast<int>(
+      (static_cast<__uint128_t>(col + 1) *
+           static_cast<uint64_t>(num_workers_) -
+       1) /
+      cols_);
+}
+
+int BlockSchedule::WorkerOfRow(uint64_t row) const {
+  return static_cast<int>(
+      (static_cast<__uint128_t>(row + 1) *
+           static_cast<uint64_t>(num_workers_) -
+       1) /
+      rows_);
+}
+
+DsgdPartition::DsgdPartition(const SparseMatrix& matrix,
+                             const BlockSchedule& schedule)
+    : num_workers_(schedule.num_workers()),
+      cells_(static_cast<size_t>(num_workers_) * num_workers_) {
+  for (uint32_t i = 0; i < matrix.entries.size(); ++i) {
+    const MatrixEntry& e = matrix.entries[i];
+    const int w = schedule.WorkerOfRow(e.row);
+    const int b = schedule.BlockOfCol(e.col);
+    cells_[w * num_workers_ + b].push_back(i);
+  }
+}
+
+}  // namespace mf
+}  // namespace lapse

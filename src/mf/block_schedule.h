@@ -1,0 +1,68 @@
+#ifndef LAPSE_MF_BLOCK_SCHEDULE_H_
+#define LAPSE_MF_BLOCK_SCHEDULE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mf/matrix_gen.h"
+
+namespace lapse {
+namespace mf {
+
+// DSGD parameter-blocking schedule (Gemulla et al. [15], the paper's
+// Figure 3b): with T workers, the columns are split into T blocks; in
+// subepoch j, worker w exclusively works on block (w + j) mod T, so no two
+// workers ever touch the same column factor concurrently. Rows are
+// partitioned statically per worker.
+class BlockSchedule {
+ public:
+  BlockSchedule(uint64_t rows, uint64_t cols, int num_workers);
+
+  int num_workers() const { return num_workers_; }
+  int num_blocks() const { return num_workers_; }
+
+  // Column range [begin, end) of block b.
+  uint64_t BlockBegin(int b) const {
+    return static_cast<uint64_t>(b) * cols_ / num_workers_;
+  }
+  uint64_t BlockEnd(int b) const { return BlockBegin(b + 1); }
+  int BlockOfCol(uint64_t col) const;
+
+  // Row range [begin, end) owned by worker w.
+  uint64_t RowBegin(int w) const {
+    return static_cast<uint64_t>(w) * rows_ / num_workers_;
+  }
+  uint64_t RowEnd(int w) const { return RowBegin(w + 1); }
+  int WorkerOfRow(uint64_t row) const;
+
+  // Block processed by worker w in subepoch j.
+  int BlockForWorker(int w, int subepoch) const {
+    return (w + subepoch) % num_workers_;
+  }
+
+ private:
+  uint64_t rows_;
+  uint64_t cols_;
+  int num_workers_;
+};
+
+// Training data pre-partitioned for DSGD: entry indices grouped by
+// (owning worker, column block).
+class DsgdPartition {
+ public:
+  DsgdPartition(const SparseMatrix& matrix, const BlockSchedule& schedule);
+
+  // Indices (into matrix.entries) of worker w's entries in column block b.
+  const std::vector<uint32_t>& Entries(int w, int b) const {
+    return cells_[w * num_workers_ + b];
+  }
+
+ private:
+  int num_workers_;
+  std::vector<std::vector<uint32_t>> cells_;
+};
+
+}  // namespace mf
+}  // namespace lapse
+
+#endif  // LAPSE_MF_BLOCK_SCHEDULE_H_

@@ -1,0 +1,230 @@
+#include "mf/dsgd.h"
+
+#include "stale/ssp_worker.h"
+
+#include <cmath>
+#include <mutex>
+
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace lapse {
+namespace mf {
+namespace {
+
+// Accumulates per-epoch loss and time across workers.
+struct EpochAccumulator {
+  explicit EpochAccumulator(int epochs)
+      : results(epochs), loss_sum(epochs, 0.0), loss_n(epochs, 0) {}
+
+  std::mutex mu;
+  std::vector<EpochResult> results;
+  std::vector<double> loss_sum;
+  std::vector<int64_t> loss_n;
+
+  void AddLoss(int epoch, double sum, int64_t n) {
+    std::lock_guard<std::mutex> lock(mu);
+    loss_sum[epoch] += sum;
+    loss_n[epoch] += n;
+  }
+  void SetTime(int epoch, double seconds) {
+    std::lock_guard<std::mutex> lock(mu);
+    results[epoch].seconds = seconds;
+  }
+  std::vector<EpochResult> Finalize() {
+    for (size_t e = 0; e < results.size(); ++e) {
+      results[e].loss = loss_n[e] == 0
+                            ? 0.0
+                            : loss_sum[e] / static_cast<double>(loss_n[e]);
+    }
+    return results;
+  }
+};
+
+}  // namespace
+
+std::vector<Val> InitialMfFactor(uint64_t id, int rank, uint64_t seed) {
+  Rng rng(Mix64(seed ^ (id * 0x9e3779b97f4a7c15ULL + 1)));
+  std::vector<Val> v(rank);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(rank));
+  for (auto& x : v) x = static_cast<float>(rng.NextGaussian()) * scale;
+  return v;
+}
+
+ps::Config MakeDsgdPsConfig(const SparseMatrix& matrix,
+                            const DsgdConfig& config, int num_nodes,
+                            int workers_per_node,
+                            const net::LatencyConfig& latency) {
+  ps::Config cfg;
+  cfg.num_nodes = num_nodes;
+  cfg.workers_per_node = workers_per_node;
+  cfg.num_keys = matrix.rows + matrix.cols;
+  cfg.uniform_value_length = static_cast<size_t>(config.rank);
+  cfg.latency = latency;
+  cfg.seed = config.seed;
+  return cfg;
+}
+
+void InitFactorsPs(ps::PsSystem& system, const SparseMatrix& matrix,
+                   const DsgdConfig& config) {
+  for (uint64_t i = 0; i < matrix.rows + matrix.cols; ++i) {
+    const std::vector<Val> v = InitialMfFactor(i, config.rank, config.seed);
+    system.SetValue(i, v.data());
+  }
+}
+
+void InitFactorsSsp(stale::SspSystem& system, const SparseMatrix& matrix,
+                    const DsgdConfig& config) {
+  for (uint64_t i = 0; i < matrix.rows + matrix.cols; ++i) {
+    const std::vector<Val> v = InitialMfFactor(i, config.rank, config.seed);
+    system.SetValue(i, v.data());
+  }
+}
+
+std::vector<EpochResult> TrainDsgdOnPs(ps::PsSystem& system,
+                                       const SparseMatrix& matrix,
+                                       const DsgdConfig& config) {
+  const int total_workers = system.config().total_workers();
+  const BlockSchedule schedule(matrix.rows, matrix.cols, total_workers);
+  const DsgdPartition partition(matrix, schedule);
+  EpochAccumulator acc(config.epochs);
+  const int rank = config.rank;
+
+  system.Run([&](ps::Worker& w) {
+    const int wid = w.worker_id();
+
+    // Rows are partitioned statically: relocate them once (data
+    // clustering on the row side).
+    if (config.use_localize) {
+      std::vector<Key> row_keys;
+      for (uint64_t r = schedule.RowBegin(wid); r < schedule.RowEnd(wid);
+           ++r) {
+        row_keys.push_back(RowKey(r));
+      }
+      if (!row_keys.empty()) w.Localize(row_keys);
+    }
+    w.Barrier();
+
+    std::vector<Val> factors(2 * rank);
+    std::vector<Val> deltas(2 * rank);
+    Timer epoch_timer;
+
+    for (int epoch = 0; epoch < config.epochs; ++epoch) {
+      epoch_timer.Restart();
+      double loss = 0;
+      int64_t n = 0;
+      for (int sub = 0; sub < schedule.num_blocks(); ++sub) {
+        const int block = schedule.BlockForWorker(wid, sub);
+        if (config.use_localize) {
+          std::vector<Key> col_keys;
+          for (uint64_t c = schedule.BlockBegin(block);
+               c < schedule.BlockEnd(block); ++c) {
+            col_keys.push_back(ColKey(matrix.rows, c));
+          }
+          if (!col_keys.empty()) w.Localize(col_keys);
+        }
+        for (const uint32_t idx : partition.Entries(wid, block)) {
+          const MatrixEntry& cell = matrix.entries[idx];
+          const std::vector<Key> keys = {RowKey(cell.row),
+                                         ColKey(matrix.rows, cell.col)};
+          w.Pull(keys, factors.data());
+          const Val* wi = factors.data();
+          const Val* hj = factors.data() + rank;
+          float dot = 0;
+          for (int t = 0; t < rank; ++t) dot += wi[t] * hj[t];
+          const float err = dot - cell.value;
+          loss += static_cast<double>(err) * err;
+          ++n;
+          for (int t = 0; t < rank; ++t) {
+            deltas[t] = -config.lr * (err * hj[t] + config.reg * wi[t]);
+            deltas[rank + t] =
+                -config.lr * (err * wi[t] + config.reg * hj[t]);
+          }
+          w.Push(keys, deltas.data());
+        }
+        // Global barrier after each subepoch (Appendix A).
+        w.Barrier();
+      }
+      acc.AddLoss(epoch, loss, n);
+      if (wid == 0) acc.SetTime(epoch, epoch_timer.ElapsedSeconds());
+      w.Barrier();
+    }
+  });
+  return acc.Finalize();
+}
+
+std::vector<EpochResult> TrainDsgdOnSsp(stale::SspSystem& system,
+                                        const SparseMatrix& matrix,
+                                        const DsgdConfig& config) {
+  const int total_workers = system.config().total_workers();
+  const BlockSchedule schedule(matrix.rows, matrix.cols, total_workers);
+  const DsgdPartition partition(matrix, schedule);
+  EpochAccumulator acc(config.epochs);
+  const int rank = config.rank;
+
+  system.Run([&](stale::SspWorker& w) {
+    const int wid = w.worker_id();
+    std::vector<Val> factors(2 * rank);
+    std::vector<Val> deltas(2 * rank);
+    Timer epoch_timer;
+
+    for (int epoch = 0; epoch < config.epochs; ++epoch) {
+      epoch_timer.Restart();
+      double loss = 0;
+      int64_t n = 0;
+      for (int sub = 0; sub < schedule.num_blocks(); ++sub) {
+        const int block = schedule.BlockForWorker(wid, sub);
+        for (const uint32_t idx : partition.Entries(wid, block)) {
+          const MatrixEntry& cell = matrix.entries[idx];
+          const std::vector<Key> keys = {RowKey(cell.row),
+                                         ColKey(matrix.rows, cell.col)};
+          w.Read(keys, factors.data());
+          const Val* wi = factors.data();
+          const Val* hj = factors.data() + rank;
+          float dot = 0;
+          for (int t = 0; t < rank; ++t) dot += wi[t] * hj[t];
+          const float err = dot - cell.value;
+          loss += static_cast<double>(err) * err;
+          ++n;
+          for (int t = 0; t < rank; ++t) {
+            deltas[t] = -config.lr * (err * hj[t] + config.reg * wi[t]);
+            deltas[rank + t] =
+                -config.lr * (err * wi[t] + config.reg * hj[t]);
+          }
+          w.Update(keys, deltas.data());
+        }
+        // One clock per subepoch with staleness 1 and a barrier to force
+        // replica refreshes (Appendix A).
+        w.Clock();
+        w.Barrier();
+      }
+      acc.AddLoss(epoch, loss, n);
+      if (wid == 0) acc.SetTime(epoch, epoch_timer.ElapsedSeconds());
+      w.Barrier();
+    }
+  });
+  return acc.Finalize();
+}
+
+double DsgdFullLossPs(ps::PsSystem& system, const SparseMatrix& matrix,
+                      const DsgdConfig& config) {
+  const int rank = config.rank;
+  std::vector<Val> all((matrix.rows + matrix.cols) * rank);
+  for (uint64_t i = 0; i < matrix.rows + matrix.cols; ++i) {
+    system.GetValue(i, all.data() + i * rank);
+  }
+  double loss = 0;
+  for (const MatrixEntry& cell : matrix.entries) {
+    const Val* wi = all.data() + static_cast<uint64_t>(cell.row) * rank;
+    const Val* hj = all.data() + (matrix.rows + cell.col) * rank;
+    float dot = 0;
+    for (int t = 0; t < rank; ++t) dot += wi[t] * hj[t];
+    const float err = dot - cell.value;
+    loss += static_cast<double>(err) * err;
+  }
+  return loss / static_cast<double>(matrix.nnz());
+}
+
+}  // namespace mf
+}  // namespace lapse

@@ -1,0 +1,80 @@
+#ifndef LAPSE_MF_DSGD_H_
+#define LAPSE_MF_DSGD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mf/block_schedule.h"
+#include "mf/matrix_gen.h"
+#include "ps/system.h"
+#include "stale/ssp_system.h"
+
+namespace lapse {
+namespace mf {
+
+// DSGD matrix factorization (the paper's matrix-factorization task,
+// Section 4 / Appendix A): minimize sum over observed cells of
+// (w_i . h_j - x_ij)^2 + reg * (|w_i|^2 + |h_j|^2) with rank-`rank`
+// factors, trained with the parameter-blocking schedule of BlockSchedule.
+struct DsgdConfig {
+  int rank = 16;
+  float lr = 0.01f;
+  float reg = 0.02f;
+  int epochs = 1;
+  // Lapse only: relocate row factors once and column blocks per subepoch.
+  // With false, the trainer runs the identical access pattern without
+  // relocation (the classic-PS variants).
+  bool use_localize = true;
+  uint64_t seed = 7;
+};
+
+// Key space: row factor of row i -> key i; column factor of column j ->
+// key rows + j. Value length = rank.
+inline Key RowKey(uint64_t row) { return row; }
+inline Key ColKey(uint64_t rows, uint64_t col) { return rows + col; }
+
+// Per-epoch outcome. `loss` is the mean squared training residual measured
+// before each SGD step during the epoch (the usual online training loss).
+struct EpochResult {
+  double seconds = 0;
+  double loss = 0;
+};
+
+// Deterministic initial factor vector for row/column id `id` (rows first,
+// then columns offset by `rows`). Shared by every backend (PS, stale PS,
+// low-level) so that runs are comparable.
+std::vector<Val> InitialMfFactor(uint64_t id, int rank, uint64_t seed);
+
+// Builds the PS config for a DSGD run (keys, value length = rank).
+ps::Config MakeDsgdPsConfig(const SparseMatrix& matrix,
+                            const DsgdConfig& config, int num_nodes,
+                            int workers_per_node,
+                            const net::LatencyConfig& latency);
+
+// Deterministically initializes factors (N(0, 1/sqrt(rank))) in the PS.
+void InitFactorsPs(ps::PsSystem& system, const SparseMatrix& matrix,
+                   const DsgdConfig& config);
+void InitFactorsSsp(stale::SspSystem& system, const SparseMatrix& matrix,
+                    const DsgdConfig& config);
+
+// Runs `config.epochs` DSGD epochs on a classic/Lapse PS. One global
+// barrier per subepoch (Appendix A). Returns one result per epoch.
+std::vector<EpochResult> TrainDsgdOnPs(ps::PsSystem& system,
+                                       const SparseMatrix& matrix,
+                                       const DsgdConfig& config);
+
+// Same workload on the bounded-staleness PS: reads via staleness-checked
+// replicas, one Clock() per subepoch (staleness 1, Appendix A).
+std::vector<EpochResult> TrainDsgdOnSsp(stale::SspSystem& system,
+                                        const SparseMatrix& matrix,
+                                        const DsgdConfig& config);
+
+// Full training loss (mean squared residual over all entries) evaluated
+// against the current factors; PS must be quiesced.
+double DsgdFullLossPs(ps::PsSystem& system, const SparseMatrix& matrix,
+                      const DsgdConfig& config);
+
+}  // namespace mf
+}  // namespace lapse
+
+#endif  // LAPSE_MF_DSGD_H_

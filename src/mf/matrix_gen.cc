@@ -1,0 +1,57 @@
+#include "mf/matrix_gen.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace lapse {
+namespace mf {
+
+SparseMatrix GenerateLowRankMatrix(const MatrixGenConfig& config) {
+  LAPSE_CHECK_GT(config.rows, 0u);
+  LAPSE_CHECK_GT(config.cols, 0u);
+  LAPSE_CHECK_GE(config.nnz, config.rows);
+  LAPSE_CHECK_GE(config.nnz, config.cols);
+  Rng rng(config.seed);
+
+  const int r = config.rank;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(r));
+  std::vector<float> w(config.rows * r);
+  std::vector<float> h(config.cols * r);
+  for (auto& x : w) x = static_cast<float>(rng.NextGaussian()) * scale;
+  for (auto& x : h) x = static_cast<float>(rng.NextGaussian()) * scale;
+
+  SparseMatrix m;
+  m.rows = config.rows;
+  m.cols = config.cols;
+  m.entries.reserve(config.nnz);
+
+  auto value_at = [&](uint64_t i, uint64_t j) {
+    float dot = 0;
+    for (int t = 0; t < r; ++t) dot += w[i * r + t] * h[j * r + t];
+    return dot + static_cast<float>(rng.NextGaussian()) * config.noise;
+  };
+
+  // Coverage pass: one entry per row and per column.
+  for (uint64_t i = 0; i < config.rows; ++i) {
+    const uint64_t j = rng.Uniform(config.cols);
+    m.entries.push_back({static_cast<uint32_t>(i), static_cast<uint32_t>(j),
+                         value_at(i, j)});
+  }
+  for (uint64_t j = 0; j < config.cols; ++j) {
+    const uint64_t i = rng.Uniform(config.rows);
+    m.entries.push_back({static_cast<uint32_t>(i), static_cast<uint32_t>(j),
+                         value_at(i, j)});
+  }
+  while (m.entries.size() < config.nnz) {
+    const uint64_t i = rng.Uniform(config.rows);
+    const uint64_t j = rng.Uniform(config.cols);
+    m.entries.push_back({static_cast<uint32_t>(i), static_cast<uint32_t>(j),
+                         value_at(i, j)});
+  }
+  return m;
+}
+
+}  // namespace mf
+}  // namespace lapse

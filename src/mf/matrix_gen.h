@@ -1,0 +1,47 @@
+#ifndef LAPSE_MF_MATRIX_GEN_H_
+#define LAPSE_MF_MATRIX_GEN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lapse {
+namespace mf {
+
+// One observed cell of a sparse matrix.
+struct MatrixEntry {
+  uint32_t row;
+  uint32_t col;
+  float value;
+};
+
+// Sparse training matrix in coordinate form.
+struct SparseMatrix {
+  uint64_t rows = 0;
+  uint64_t cols = 0;
+  std::vector<MatrixEntry> entries;
+
+  size_t nnz() const { return entries.size(); }
+};
+
+// Parameters for synthetic low-rank matrix generation (stand-in for the
+// paper's 1b-entry synthetic matrices from Makari et al. [34]).
+struct MatrixGenConfig {
+  uint64_t rows = 10000;
+  uint64_t cols = 1000;
+  uint64_t nnz = 100000;
+  int rank = 8;          // rank of the ground-truth factors
+  float noise = 0.1f;    // stddev of additive gaussian noise
+  uint64_t seed = 1;
+};
+
+// Samples ground-truth factors W (rows x rank), H (rank x cols) with
+// N(0, 1/sqrt(rank)) entries and nnz uniformly-random cells with value
+// (W H)[i,j] + noise. Deterministic given the seed. Every row and column is
+// guaranteed at least one entry (so all factors receive gradient signal).
+SparseMatrix GenerateLowRankMatrix(const MatrixGenConfig& config);
+
+}  // namespace mf
+}  // namespace lapse
+
+#endif  // LAPSE_MF_MATRIX_GEN_H_

@@ -1,0 +1,26 @@
+#include "ml/adagrad.h"
+
+#include <cmath>
+
+namespace lapse {
+namespace ml {
+
+void AdagradDelta(const Val* emb_and_acc, const Val* grad, size_t dim,
+                  float lr, Val* delta) {
+  constexpr float kEps = 1e-6f;
+  const Val* acc = emb_and_acc + dim;
+  for (size_t i = 0; i < dim; ++i) {
+    const float g = grad[i];
+    const float g2 = g * g;
+    const float new_acc = acc[i] + g2;
+    delta[i] = -lr * g / std::sqrt(new_acc + kEps);
+    delta[dim + i] = g2;
+  }
+}
+
+void SgdDelta(const Val* grad, size_t dim, float lr, Val* delta) {
+  for (size_t i = 0; i < dim; ++i) delta[i] = -lr * grad[i];
+}
+
+}  // namespace ml
+}  // namespace lapse

@@ -1,0 +1,27 @@
+#ifndef LAPSE_ML_ADAGRAD_H_
+#define LAPSE_ML_ADAGRAD_H_
+
+#include <cstddef>
+
+#include "net/message.h"
+
+namespace lapse {
+namespace ml {
+
+// AdaGrad step (Duchi et al., JMLR'11), operating on a parameter layout
+// where each PS value holds [embedding | accumulator] back to back, as the
+// paper stores AdaGrad metadata in the PS (Appendix A).
+//
+// Given the current value `emb_and_acc` (2*dim floats pulled from the PS)
+// and the gradient, writes the cumulative *update* (delta) for the PS push
+// into `delta` (also 2*dim): delta = [-lr*g/sqrt(acc'+eps) | g^2].
+void AdagradDelta(const Val* emb_and_acc, const Val* grad, size_t dim,
+                  float lr, Val* delta);
+
+// Plain SGD delta: delta = -lr * grad.
+void SgdDelta(const Val* grad, size_t dim, float lr, Val* delta);
+
+}  // namespace ml
+}  // namespace lapse
+
+#endif  // LAPSE_ML_ADAGRAD_H_

@@ -1,0 +1,37 @@
+#include "ml/loss.h"
+
+#include <cmath>
+
+namespace lapse {
+namespace ml {
+
+float Sigmoid(float x) {
+  if (x >= 0) {
+    const float z = std::exp(-x);
+    return 1.0f / (1.0f + z);
+  }
+  const float z = std::exp(x);
+  return z / (1.0f + z);
+}
+
+float LogisticLoss(float score, float label) {
+  const float m = -label * score;
+  // log(1 + exp(m)) computed stably.
+  if (m > 30.0f) return m;
+  return std::log1p(std::exp(m));
+}
+
+float LogisticLossGrad(float score, float label) {
+  return -label * Sigmoid(-label * score);
+}
+
+float Dot(const Val* a, const Val* b, size_t n) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+float SquaredNorm(const Val* a, size_t n) { return Dot(a, a, n); }
+
+}  // namespace ml
+}  // namespace lapse

@@ -1,0 +1,29 @@
+#ifndef LAPSE_ML_LOSS_H_
+#define LAPSE_ML_LOSS_H_
+
+#include <cstddef>
+
+#include "net/message.h"
+
+namespace lapse {
+namespace ml {
+
+// Numerically-stable sigmoid.
+float Sigmoid(float x);
+
+// Logistic loss for a score with label y in {+1, -1}: log(1 + exp(-y*s)).
+float LogisticLoss(float score, float label);
+
+// d/ds LogisticLoss(s, y) = -y * sigmoid(-y*s).
+float LogisticLossGrad(float score, float label);
+
+// Dot product of two length-n vectors.
+float Dot(const Val* a, const Val* b, size_t n);
+
+// Squared L2 norm.
+float SquaredNorm(const Val* a, size_t n);
+
+}  // namespace ml
+}  // namespace lapse
+
+#endif  // LAPSE_ML_LOSS_H_

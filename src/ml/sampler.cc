@@ -1,0 +1,40 @@
+#include "ml/sampler.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace lapse {
+namespace ml {
+
+NegativeSampler::NegativeSampler(uint64_t n) : n_(n) {
+  LAPSE_CHECK_GT(n, 0u);
+}
+
+NegativeSampler::NegativeSampler(const std::vector<int64_t>& counts,
+                                 double power)
+    : n_(counts.size()) {
+  LAPSE_CHECK_GT(n_, 0u);
+  std::vector<double> weights(counts.size());
+  for (size_t i = 0; i < counts.size(); ++i) {
+    weights[i] = std::pow(static_cast<double>(counts[i] < 0 ? 0 : counts[i]),
+                          power);
+  }
+  table_ = std::make_unique<AliasTable>(weights);
+}
+
+uint64_t NegativeSampler::Sample(Rng& rng) const {
+  if (table_) return table_->Sample(rng);
+  return rng.Uniform(n_);
+}
+
+uint64_t NegativeSampler::SampleExcluding(uint64_t excluded, Rng& rng) const {
+  if (n_ == 1) return 0;  // nothing else to draw
+  for (;;) {
+    const uint64_t s = Sample(rng);
+    if (s != excluded) return s;
+  }
+}
+
+}  // namespace ml
+}  // namespace lapse

@@ -1,0 +1,41 @@
+#ifndef LAPSE_ML_SAMPLER_H_
+#define LAPSE_ML_SAMPLER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace lapse {
+namespace ml {
+
+// Negative sampler over item ids [0, n). Supports the two distributions the
+// paper's tasks use: uniform (knowledge graph embeddings, [48, 31]) and
+// unigram^power (word2vec, power = 0.75).
+class NegativeSampler {
+ public:
+  // Uniform over [0, n).
+  explicit NegativeSampler(uint64_t n);
+
+  // Proportional to counts[i]^power.
+  NegativeSampler(const std::vector<int64_t>& counts, double power);
+
+  uint64_t Sample(Rng& rng) const;
+
+  // Samples one id != excluded (rejection; `excluded` interpreted as a
+  // positive item to avoid as a "negative").
+  uint64_t SampleExcluding(uint64_t excluded, Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  std::unique_ptr<AliasTable> table_;  // null => uniform
+};
+
+}  // namespace ml
+}  // namespace lapse
+
+#endif  // LAPSE_ML_SAMPLER_H_

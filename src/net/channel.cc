@@ -1,0 +1,97 @@
+#include "net/channel.h"
+
+#include <chrono>
+
+#include "util/timer.h"
+
+namespace lapse {
+namespace net {
+
+void Inbox::Put(Message msg) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push(Entry{msg.deliver_ns, next_seq_++, std::move(msg)});
+    approx_size_.store(queue_.size(), std::memory_order_release);
+  }
+  cv_.notify_one();
+}
+
+bool Inbox::Take(Message* out) {
+  // OS timer wakeups are ~50us-grained, far coarser than the simulated
+  // latencies (2-30us). To keep the latency model honest we sleep only for
+  // the bulk of long waits and spin for the final stretch.
+  constexpr int64_t kSpinWindowNs = 120'000;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (!queue_.empty()) {
+      const int64_t deliver = queue_.top().deliver_ns;
+      const int64_t now = NowNanos();
+      if (deliver <= now || shutdown_) {
+        // (On shutdown we drain promptly; no need to honor latency.)
+        // const_cast: priority_queue::top() is const but we are about to
+        // pop; moving the payload out avoids a deep copy of the vectors.
+        *out = std::move(const_cast<Entry&>(queue_.top()).msg);
+        queue_.pop();
+        approx_size_.store(queue_.size(), std::memory_order_release);
+        return true;
+      }
+      if (deliver - now > kSpinWindowNs) {
+        cv_.wait_for(lock,
+                     std::chrono::nanoseconds(deliver - now - kSpinWindowNs));
+        continue;
+      }
+      // Spin without the lock so senders can still enqueue (possibly with
+      // an earlier delivery time; the re-check handles that).
+      lock.unlock();
+      while (NowNanos() < deliver) {
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#endif
+      }
+      lock.lock();
+      continue;
+    }
+    if (shutdown_) return false;
+    // Idle: spin-poll briefly before sleeping. A condition-variable wakeup
+    // costs ~50-200us -- more than the whole simulated relocation protocol
+    // -- so a short spin keeps multi-hop protocols at realistic speed.
+    lock.unlock();
+    const int64_t spin_until = NowNanos() + idle_spin_ns_;
+    while (approx_size_.load(std::memory_order_acquire) == 0 &&
+           !shutdown_flag_.load(std::memory_order_acquire) &&
+           NowNanos() < spin_until) {
+#if defined(__x86_64__) || defined(__i386__)
+      __builtin_ia32_pause();
+#endif
+    }
+    lock.lock();
+    if (queue_.empty() && !shutdown_) cv_.wait(lock);
+  }
+}
+
+bool Inbox::TryTake(Message* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_.empty()) return false;
+  if (queue_.top().deliver_ns > NowNanos() && !shutdown_) return false;
+  *out = std::move(const_cast<Entry&>(queue_.top()).msg);
+  queue_.pop();
+  approx_size_.store(queue_.size(), std::memory_order_release);
+  return true;
+}
+
+void Inbox::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    shutdown_flag_.store(true, std::memory_order_release);
+  }
+  cv_.notify_all();
+}
+
+size_t Inbox::ApproxSize() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace net
+}  // namespace lapse

@@ -1,0 +1,76 @@
+#ifndef LAPSE_NET_CHANNEL_H_
+#define LAPSE_NET_CHANNEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <queue>
+#include <vector>
+
+#include "net/message.h"
+
+namespace lapse {
+namespace net {
+
+// Per-node delivery queue. Senders insert messages with a computed delivery
+// time; the receiving server thread pops them in delivery-time order, and
+// not before their delivery time has passed (this is how the simulated
+// latency materializes).
+//
+// FIFO-per-connection (the TCP property the paper's consistency proofs rely
+// on) is guaranteed by the *senders*: an Endpoint never assigns a delivery
+// time earlier than its previous message to the same node. The inbox then
+// orders by delivery time with a monotone sequence number as tie-breaker, so
+// two messages from the same endpoint can never be reordered.
+class Inbox {
+ public:
+  explicit Inbox(int64_t idle_spin_ns = 1'000'000)
+      : idle_spin_ns_(idle_spin_ns) {}
+  Inbox(const Inbox&) = delete;
+  Inbox& operator=(const Inbox&) = delete;
+
+  // Enqueues a message (deliver_ns must be set).
+  void Put(Message msg);
+
+  // Blocks until a message is deliverable or the inbox is shut down.
+  // Returns false on shutdown with an empty queue (remaining messages are
+  // still drained first so protocols can quiesce).
+  bool Take(Message* out);
+
+  // Non-blocking variant; returns false if nothing is deliverable yet.
+  bool TryTake(Message* out);
+
+  // Wakes all waiters and makes Take return false once drained.
+  void Shutdown();
+
+  size_t ApproxSize() const;
+
+ private:
+  struct Entry {
+    int64_t deliver_ns;
+    uint64_t seq;
+    Message msg;
+  };
+  struct EntryLater {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.deliver_ns != b.deliver_ns) return a.deliver_ns > b.deliver_ns;
+      return a.seq > b.seq;
+    }
+  };
+
+  const int64_t idle_spin_ns_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_;
+  // Lock-free size mirror so an idle consumer can poll without the mutex.
+  std::atomic<size_t> approx_size_{0};
+  std::atomic<bool> shutdown_flag_{false};
+  uint64_t next_seq_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace net
+}  // namespace lapse
+
+#endif  // LAPSE_NET_CHANNEL_H_

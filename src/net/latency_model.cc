@@ -1,0 +1,24 @@
+#include "net/latency_model.h"
+
+namespace lapse {
+namespace net {
+
+LatencyModel::LatencyModel(const LatencyConfig& config, uint64_t seed)
+    : config_(config), rng_(seed) {}
+
+int64_t LatencyModel::DelayNs(size_t bytes, bool same_node) {
+  const int64_t base =
+      same_node ? config_.local_base_ns : config_.remote_base_ns;
+  int64_t delay =
+      base + static_cast<int64_t>(config_.per_byte_ns *
+                                  static_cast<double>(bytes));
+  if (config_.jitter_fraction > 0.0 && base > 0) {
+    const double j = config_.jitter_fraction;
+    const double factor = 1.0 + rng_.UniformReal(-j, j);
+    delay = static_cast<int64_t>(static_cast<double>(delay) * factor);
+  }
+  return delay < 0 ? 0 : delay;
+}
+
+}  // namespace net
+}  // namespace lapse

@@ -1,0 +1,62 @@
+#ifndef LAPSE_NET_LATENCY_MODEL_H_
+#define LAPSE_NET_LATENCY_MODEL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace lapse {
+namespace net {
+
+// Parameters of the simulated interconnect.
+//
+// The simulation substitutes the paper's 8-machine / 10 GbE cluster. What
+// matters for reproducing the paper's effects is the *ratio* between a
+// shared-memory access (~100ns) and a network message (~10-100us), plus the
+// fact that PS-Lite pays inter-process communication even for node-local
+// accesses. Hence two base latencies: one for messages between distinct
+// nodes and one (smaller) for loop-back messages within a node, modelling
+// IPC/queue hand-off.
+struct LatencyConfig {
+  int64_t remote_base_ns = 30'000;  // one-way latency between nodes
+  int64_t local_base_ns = 2'000;    // loop-back (IPC) latency within a node
+  double per_byte_ns = 1.0;         // ~8 Gbit/s effective bandwidth
+  double jitter_fraction = 0.0;     // uniform +/- jitter as fraction of base
+  // How long an idle server spins polling its inbox before falling back to
+  // a condition variable. OS wakeups cost 50-200us -- several simulated
+  // hops -- so simulations that care about latency fidelity use a generous
+  // budget (dedicated server threads are assumed).
+  int64_t idle_spin_ns = 1'000'000;
+
+  // Convenience presets.
+  static LatencyConfig Zero() {
+    return LatencyConfig{0, 0, 0.0, 0.0};
+  }
+  static LatencyConfig Lan() { return LatencyConfig{}; }
+  static LatencyConfig FastLan() {
+    return LatencyConfig{10'000, 1'000, 0.5, 0.0};
+  }
+};
+
+// Computes per-message delays from a LatencyConfig. One instance per
+// sending endpoint (holds its own RNG for jitter).
+class LatencyModel {
+ public:
+  LatencyModel(const LatencyConfig& config, uint64_t seed);
+
+  // Delay in nanoseconds for a message of `bytes` bytes; `same_node` selects
+  // loop-back vs. remote base latency.
+  int64_t DelayNs(size_t bytes, bool same_node);
+
+  const LatencyConfig& config() const { return config_; }
+
+ private:
+  LatencyConfig config_;
+  Rng rng_;
+};
+
+}  // namespace net
+}  // namespace lapse
+
+#endif  // LAPSE_NET_LATENCY_MODEL_H_

@@ -1,0 +1,60 @@
+#include "net/message.h"
+
+#include <sstream>
+
+namespace lapse {
+namespace net {
+
+const char* MsgTypeName(MsgType type) {
+  switch (type) {
+    case MsgType::kPull:
+      return "Pull";
+    case MsgType::kPullResp:
+      return "PullResp";
+    case MsgType::kPush:
+      return "Push";
+    case MsgType::kPushAck:
+      return "PushAck";
+    case MsgType::kLocalize:
+      return "Localize";
+    case MsgType::kRelocateInstruct:
+      return "RelocateInstruct";
+    case MsgType::kRelocateTransfer:
+      return "RelocateTransfer";
+    case MsgType::kLocalizeNoop:
+      return "LocalizeNoop";
+    case MsgType::kLocationUpdate:
+      return "LocationUpdate";
+    case MsgType::kSspRead:
+      return "SspRead";
+    case MsgType::kSspReadResp:
+      return "SspReadResp";
+    case MsgType::kSspFlush:
+      return "SspFlush";
+    case MsgType::kSspFlushAck:
+      return "SspFlushAck";
+    case MsgType::kSspClock:
+      return "SspClock";
+    case MsgType::kSspPushUpdates:
+      return "SspPushUpdates";
+    case MsgType::kBlockTransfer:
+      return "BlockTransfer";
+    case MsgType::kShutdown:
+      return "Shutdown";
+    case MsgType::kNumTypes:
+      break;
+  }
+  return "Unknown";
+}
+
+std::string Message::DebugString() const {
+  std::ostringstream os;
+  os << MsgTypeName(type) << " " << src_node << ":" << src_thread << " -> "
+     << dst_node << " op=" << op_id << " orig=" << orig_node << ":"
+     << orig_thread << " keys=" << keys.size() << " vals=" << vals.size()
+     << " hops=" << hops;
+  return os.str();
+}
+
+}  // namespace net
+}  // namespace lapse

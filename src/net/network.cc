@@ -1,0 +1,162 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace lapse {
+namespace net {
+
+NetStats::NetStats() { Reset(); }
+
+void NetStats::Record(const Message& msg) {
+  const size_t t = static_cast<size_t>(msg.type);
+  const int64_t bytes = static_cast<int64_t>(msg.WireBytes());
+  msgs_[t].fetch_add(1, std::memory_order_relaxed);
+  bytes_[t].fetch_add(bytes, std::memory_order_relaxed);
+  total_msgs_.fetch_add(1, std::memory_order_relaxed);
+  total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  if (msg.src_node == msg.dst_node) {
+    local_msgs_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    remote_msgs_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void NetStats::Reset() {
+  for (auto& m : msgs_) m.store(0, std::memory_order_relaxed);
+  for (auto& b : bytes_) b.store(0, std::memory_order_relaxed);
+  total_msgs_.store(0);
+  total_bytes_.store(0);
+  remote_msgs_.store(0);
+  local_msgs_.store(0);
+}
+
+int64_t NetStats::MessagesOfType(MsgType type) const {
+  return msgs_[static_cast<size_t>(type)].load(std::memory_order_relaxed);
+}
+
+int64_t NetStats::BytesOfType(MsgType type) const {
+  return bytes_[static_cast<size_t>(type)].load(std::memory_order_relaxed);
+}
+
+std::string NetStats::ToString() const {
+  std::ostringstream os;
+  os << "messages=" << total_messages() << " bytes=" << total_bytes()
+     << " remote=" << remote_messages() << " local=" << local_messages();
+  for (size_t t = 0; t < kNumTypes; ++t) {
+    const int64_t n = msgs_[t].load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    os << "\n  " << MsgTypeName(static_cast<MsgType>(t)) << ": " << n
+       << " msgs, " << bytes_[t].load(std::memory_order_relaxed) << " bytes";
+  }
+  return os.str();
+}
+
+Endpoint::Endpoint(Network* network, NodeId node, int32_t thread,
+                   uint64_t seed)
+    : network_(network),
+      node_(node),
+      thread_(thread),
+      latency_(network->latency_config(), seed),
+      last_deliver_ns_(network->num_nodes(), 0) {}
+
+void Endpoint::Send(Message msg) {
+  LAPSE_CHECK_GE(msg.dst_node, 0);
+  LAPSE_CHECK_LT(msg.dst_node, network_->num_nodes());
+  msg.src_node = node_;
+  msg.src_thread = thread_;
+  msg.send_ns = NowNanos();
+  const bool same_node = (msg.dst_node == node_);
+  const int64_t base_delay = latency_.DelayNs(0, same_node);
+  const int64_t bytes_ns = static_cast<int64_t>(
+      latency_.config().per_byte_ns * static_cast<double>(msg.WireBytes()));
+  // Store-and-forward with shared link capacities: the message occupies the
+  // sender's egress for bytes_ns (serialized with all other traffic leaving
+  // this node), propagates for base_delay, then occupies the receiver's
+  // ingress for bytes_ns. Hot nodes thus saturate, like a real NIC.
+  int64_t deliver;
+  if (bytes_ns > 0) {
+    const int64_t sent =
+        network_->ReserveEgress(node_, msg.send_ns, bytes_ns);
+    deliver = network_->ReserveIngress(msg.dst_node, sent + base_delay,
+                                       bytes_ns);
+  } else {
+    deliver = msg.send_ns + base_delay;
+  }
+  // Per-connection FIFO: never deliver before an earlier message on this
+  // (endpoint -> node) connection.
+  int64_t& last = last_deliver_ns_[msg.dst_node];
+  deliver = std::max(deliver, last);
+  last = deliver;
+  msg.deliver_ns = deliver;
+  network_->stats_.Record(msg);
+  network_->inboxes_[msg.dst_node]->Put(std::move(msg));
+}
+
+Network::Network(int num_nodes, const LatencyConfig& latency, uint64_t seed)
+    : num_nodes_(num_nodes),
+      latency_config_(latency),
+      seed_(seed),
+      egress_busy_until_(num_nodes),
+      ingress_busy_until_(num_nodes) {
+  LAPSE_CHECK_GT(num_nodes, 0);
+  inboxes_.reserve(num_nodes);
+  for (int i = 0; i < num_nodes; ++i) {
+    inboxes_.push_back(std::make_unique<Inbox>(latency.idle_spin_ns));
+    egress_busy_until_[i].store(0, std::memory_order_relaxed);
+    ingress_busy_until_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+namespace {
+
+// Appends a `cost_ns`-long slot to a busy-until register, starting no
+// earlier than `earliest_ns`; returns the slot's end time.
+int64_t ReserveSlot(std::atomic<int64_t>& busy_until, int64_t earliest_ns,
+                    int64_t cost_ns) {
+  int64_t busy = busy_until.load(std::memory_order_relaxed);
+  for (;;) {
+    const int64_t start = std::max(busy, earliest_ns);
+    const int64_t end = start + cost_ns;
+    if (busy_until.compare_exchange_weak(busy, end,
+                                         std::memory_order_relaxed)) {
+      return end;
+    }
+  }
+}
+
+}  // namespace
+
+int64_t Network::ReserveEgress(NodeId src, int64_t earliest_ns,
+                               int64_t cost_ns) {
+  return ReserveSlot(egress_busy_until_[src], earliest_ns, cost_ns);
+}
+
+int64_t Network::ReserveIngress(NodeId dst, int64_t earliest_ns,
+                                int64_t cost_ns) {
+  return ReserveSlot(ingress_busy_until_[dst], earliest_ns, cost_ns);
+}
+
+std::unique_ptr<Endpoint> Network::CreateEndpoint(NodeId node,
+                                                  int32_t thread) {
+  LAPSE_CHECK_GE(node, 0);
+  LAPSE_CHECK_LT(node, num_nodes_);
+  const uint64_t seed =
+      Mix64(seed_ ^ (static_cast<uint64_t>(node) << 32) ^
+            static_cast<uint64_t>(thread + 1));
+  return std::make_unique<Endpoint>(this, node, thread, seed);
+}
+
+bool Network::Recv(NodeId node, Message* out) {
+  return inboxes_[node]->Take(out);
+}
+
+void Network::Shutdown() {
+  for (auto& inbox : inboxes_) inbox->Shutdown();
+}
+
+}  // namespace net
+}  // namespace lapse

@@ -1,0 +1,123 @@
+#ifndef LAPSE_NET_NETWORK_H_
+#define LAPSE_NET_NETWORK_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/channel.h"
+#include "net/latency_model.h"
+#include "net/message.h"
+
+namespace lapse {
+namespace net {
+
+// Aggregate message statistics, by type and by locality (loop-back vs
+// cross-node). All counters are relaxed atomics; snapshots are approximate
+// under concurrency, exact once the system has quiesced.
+class NetStats {
+ public:
+  NetStats();
+
+  void Record(const Message& msg);
+  void Reset();
+
+  int64_t MessagesOfType(MsgType type) const;
+  int64_t BytesOfType(MsgType type) const;
+  int64_t total_messages() const { return total_msgs_.load(); }
+  int64_t total_bytes() const { return total_bytes_.load(); }
+  int64_t remote_messages() const { return remote_msgs_.load(); }
+  int64_t local_messages() const { return local_msgs_.load(); }
+
+  // Multi-line human-readable dump of non-zero counters.
+  std::string ToString() const;
+
+ private:
+  static constexpr size_t kNumTypes = static_cast<size_t>(MsgType::kNumTypes);
+  std::array<std::atomic<int64_t>, kNumTypes> msgs_;
+  std::array<std::atomic<int64_t>, kNumTypes> bytes_;
+  std::atomic<int64_t> total_msgs_{0};
+  std::atomic<int64_t> total_bytes_{0};
+  std::atomic<int64_t> remote_msgs_{0};
+  std::atomic<int64_t> local_msgs_{0};
+};
+
+class Network;
+
+// Sending handle owned by exactly one thread. Messages sent through one
+// endpoint to the same destination node are delivered in send order
+// (per-connection FIFO, like one TCP connection per peer). Thread-compatible,
+// not thread-safe: each thread creates its own endpoint.
+class Endpoint {
+ public:
+  Endpoint(Network* network, NodeId node, int32_t thread, uint64_t seed);
+
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  // Stamps src/timing fields and delivers to msg.dst_node's inbox.
+  void Send(Message msg);
+
+  NodeId node() const { return node_; }
+  int32_t thread() const { return thread_; }
+
+ private:
+  Network* network_;
+  NodeId node_;
+  int32_t thread_;
+  LatencyModel latency_;
+  std::vector<int64_t> last_deliver_ns_;  // per destination node
+};
+
+// In-process simulated cluster interconnect: one inbox per node, endpoints
+// for every sending thread, configurable latency, global statistics.
+class Network {
+ public:
+  Network(int num_nodes, const LatencyConfig& latency, uint64_t seed = 1);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  int num_nodes() const { return num_nodes_; }
+  const LatencyConfig& latency_config() const { return latency_config_; }
+
+  // Creates a sending endpoint for (node, thread). thread slot 0 is the
+  // server thread by convention; workers use slots >= 1.
+  std::unique_ptr<Endpoint> CreateEndpoint(NodeId node, int32_t thread);
+
+  // Blocking receive for `node`'s server thread. Returns false once the
+  // network is shut down and the inbox drained.
+  bool Recv(NodeId node, Message* out);
+
+  // Wakes all server threads; Recv returns false after draining.
+  void Shutdown();
+
+  NetStats& stats() { return stats_; }
+  Inbox& inbox(NodeId node) { return *inboxes_[node]; }
+
+ private:
+  friend class Endpoint;
+
+  // Reserves NIC time for a message of `bytes` bytes leaving `src` no
+  // earlier than `earliest_ns` and returns when its last byte has left the
+  // sender (egress capacity = 1/per_byte_ns bytes per second, shared by all
+  // senders of the node). Ingress works symmetrically. This shared-capacity
+  // model is what lets hot parameter servers saturate, like a real NIC.
+  int64_t ReserveEgress(NodeId src, int64_t earliest_ns, int64_t cost_ns);
+  int64_t ReserveIngress(NodeId dst, int64_t earliest_ns, int64_t cost_ns);
+
+  const int num_nodes_;
+  const LatencyConfig latency_config_;
+  const uint64_t seed_;
+  std::vector<std::unique_ptr<Inbox>> inboxes_;
+  std::vector<std::atomic<int64_t>> egress_busy_until_;
+  std::vector<std::atomic<int64_t>> ingress_busy_until_;
+  NetStats stats_;
+};
+
+}  // namespace net
+}  // namespace lapse
+
+#endif  // LAPSE_NET_NETWORK_H_

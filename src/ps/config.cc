@@ -1,0 +1,69 @@
+#include "ps/config.h"
+
+#include "util/logging.h"
+
+namespace lapse {
+namespace ps {
+
+const char* ArchitectureName(Architecture a) {
+  switch (a) {
+    case Architecture::kLapse:
+      return "Lapse";
+    case Architecture::kClassicFastLocal:
+      return "ClassicFastLocal";
+    case Architecture::kClassic:
+      return "Classic";
+  }
+  return "?";
+}
+
+const char* LocationStrategyName(LocationStrategy s) {
+  switch (s) {
+    case LocationStrategy::kStaticPartition:
+      return "StaticPartition";
+    case LocationStrategy::kHomeNode:
+      return "HomeNode";
+    case LocationStrategy::kBroadcastOps:
+      return "BroadcastOps";
+    case LocationStrategy::kBroadcastRelocations:
+      return "BroadcastRelocations";
+  }
+  return "?";
+}
+
+const char* StorageKindName(StorageKind k) {
+  switch (k) {
+    case StorageKind::kDense:
+      return "Dense";
+    case StorageKind::kSparse:
+      return "Sparse";
+  }
+  return "?";
+}
+
+void Config::Normalize() {
+  LAPSE_CHECK_GT(num_nodes, 0);
+  LAPSE_CHECK_GT(workers_per_node, 0);
+  if (value_lengths.empty()) {
+    LAPSE_CHECK_GT(num_keys, 0u);
+    LAPSE_CHECK_GT(uniform_value_length, 0u);
+  } else {
+    num_keys = value_lengths.size();
+  }
+  LAPSE_CHECK_GT(num_latches, 0u);
+
+  if (arch != Architecture::kLapse) {
+    // Static allocation: localize is a no-op; strategy degenerates.
+    strategy = LocationStrategy::kStaticPartition;
+    location_caches = false;
+  }
+  if (strategy == LocationStrategy::kStaticPartition ||
+      strategy == LocationStrategy::kBroadcastOps ||
+      strategy == LocationStrategy::kBroadcastRelocations) {
+    // Location caches only make sense for the home-node strategy.
+    location_caches = false;
+  }
+}
+
+}  // namespace ps
+}  // namespace lapse

@@ -1,0 +1,72 @@
+#ifndef LAPSE_PS_CONFIG_H_
+#define LAPSE_PS_CONFIG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "net/latency_model.h"
+#include "net/message.h"
+
+namespace lapse {
+namespace ps {
+
+// Which parameter-server architecture the engine emulates (Section 4.6 of
+// the paper runs all three as its ablation axes).
+enum class Architecture {
+  // Dynamic parameter allocation + shared-memory fast local access. This is
+  // Lapse proper: localize() relocates parameters at runtime.
+  kLapse,
+  // Static allocation (localize is a no-op) but local parameters are still
+  // accessed via shared memory ("Classic PS with fast local access").
+  kClassicFastLocal,
+  // Static allocation and *all* accesses -- including node-local ones -- go
+  // through the message path, emulating PS-Lite's inter-process access.
+  kClassic,
+};
+
+// Location-management strategies of Table 3.
+enum class LocationStrategy {
+  kStaticPartition,       // owner == home forever; no relocation support
+  kHomeNode,              // Lapse's decentralized home-node strategy
+  kBroadcastOps,          // no location state; ops broadcast to all nodes
+  kBroadcastRelocations,  // every node mirrors all K locations (direct mail)
+};
+
+enum class StorageKind { kDense, kSparse };
+
+const char* ArchitectureName(Architecture a);
+const char* LocationStrategyName(LocationStrategy s);
+const char* StorageKindName(StorageKind k);
+
+// Configuration of a PS instance (simulated cluster + engine behaviour).
+struct Config {
+  int num_nodes = 4;
+  int workers_per_node = 4;
+
+  uint64_t num_keys = 0;
+  // Per-key value lengths. Leave empty and set `uniform_value_length` for
+  // the common case of equal-length values.
+  std::vector<size_t> value_lengths;
+  size_t uniform_value_length = 1;
+
+  Architecture arch = Architecture::kLapse;
+  LocationStrategy strategy = LocationStrategy::kHomeNode;
+  bool location_caches = false;
+  StorageKind storage = StorageKind::kDense;
+  size_t num_latches = 1000;  // paper default (Section 3.7)
+
+  net::LatencyConfig latency = net::LatencyConfig::Lan();
+  uint64_t seed = 1;
+
+  // Normalizes dependent options (classic architectures force the static
+  // partition strategy and disable caches) and validates ranges. Dies on
+  // invalid configurations.
+  void Normalize();
+
+  int total_workers() const { return num_nodes * workers_per_node; }
+};
+
+}  // namespace ps
+}  // namespace lapse
+
+#endif  // LAPSE_PS_CONFIG_H_

@@ -1,0 +1,37 @@
+#include "ps/key_layout.h"
+
+#include "util/logging.h"
+
+namespace lapse {
+namespace ps {
+
+KeyLayout::KeyLayout(uint64_t num_keys, size_t uniform_length, int num_nodes)
+    : num_keys_(num_keys),
+      num_nodes_(num_nodes),
+      uniform_(true),
+      uniform_length_(uniform_length) {
+  LAPSE_CHECK_GT(num_keys, 0u);
+  LAPSE_CHECK_GT(uniform_length, 0u);
+  LAPSE_CHECK_GT(num_nodes, 0);
+  total_vals_ = static_cast<size_t>(num_keys) * uniform_length;
+}
+
+KeyLayout::KeyLayout(std::vector<size_t> lengths, int num_nodes)
+    : num_keys_(lengths.size()),
+      num_nodes_(num_nodes),
+      uniform_(false),
+      lengths_(std::move(lengths)) {
+  LAPSE_CHECK_GT(num_keys_, 0u);
+  LAPSE_CHECK_GT(num_nodes, 0);
+  offsets_.resize(num_keys_);
+  size_t acc = 0;
+  for (uint64_t k = 0; k < num_keys_; ++k) {
+    LAPSE_CHECK_GT(lengths_[k], 0u);
+    offsets_[k] = acc;
+    acc += lengths_[k];
+  }
+  total_vals_ = acc;
+}
+
+}  // namespace ps
+}  // namespace lapse

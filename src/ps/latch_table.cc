@@ -1,0 +1,21 @@
+#include "ps/latch_table.h"
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace lapse {
+namespace ps {
+
+LatchTable::LatchTable(size_t num_latches)
+    : num_latches_(num_latches), slots_(new Slot[num_latches]) {
+  LAPSE_CHECK_GT(num_latches, 0u);
+}
+
+size_t LatchTable::IndexOf(Key k) const {
+  // Mix so that contiguous key ranges (which one worker often touches
+  // together) spread across latches.
+  return Mix64(k) % num_latches_;
+}
+
+}  // namespace ps
+}  // namespace lapse

@@ -1,0 +1,45 @@
+#ifndef LAPSE_PS_LATCH_TABLE_H_
+#define LAPSE_PS_LATCH_TABLE_H_
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+
+#include "net/message.h"
+
+namespace lapse {
+namespace ps {
+
+// Fixed pool of latches with a one-to-many mapping from parameters to
+// latches (Section 3.7). Guards per-key atomic reads/writes for local
+// shared-memory access while allowing parallel access to different
+// parameters. The default pool size of 1000 is the paper's default.
+class LatchTable {
+ public:
+  explicit LatchTable(size_t num_latches);
+
+  LatchTable(const LatchTable&) = delete;
+  LatchTable& operator=(const LatchTable&) = delete;
+
+  std::mutex& ForKey(Key k) { return slots_[IndexOf(k)].mu; }
+  std::mutex& ByIndex(size_t i) { return slots_[i].mu; }
+
+  // Index of the latch guarding key k; exposed so callers that lock several
+  // keys can deduplicate/order latch acquisitions to avoid deadlock.
+  size_t IndexOf(Key k) const;
+
+  size_t size() const { return num_latches_; }
+
+ private:
+  struct alignas(64) Slot {
+    std::mutex mu;
+  };
+
+  size_t num_latches_;
+  std::unique_ptr<Slot[]> slots_;
+};
+
+}  // namespace ps
+}  // namespace lapse
+
+#endif  // LAPSE_PS_LATCH_TABLE_H_

@@ -1,0 +1,14 @@
+#include "ps/location.h"
+
+namespace lapse {
+namespace ps {
+
+LocationTable::LocationTable(const KeyLayout* layout)
+    : owner_(layout->num_keys()) {
+  for (uint64_t k = 0; k < layout->num_keys(); ++k) {
+    owner_[k].store(layout->Home(k), std::memory_order_relaxed);
+  }
+}
+
+}  // namespace ps
+}  // namespace lapse

@@ -1,0 +1,64 @@
+#ifndef LAPSE_PS_LOCATION_H_
+#define LAPSE_PS_LOCATION_H_
+
+#include <atomic>
+#include <vector>
+
+#include "net/message.h"
+#include "ps/key_layout.h"
+
+namespace lapse {
+namespace ps {
+
+// Owner table: which node currently holds each key.
+//
+// Under the home-node strategy, node n's table is authoritative only for
+// the keys homed at n (the rest is unused). Under broadcast-relocations,
+// every node maintains a (possibly slightly stale) full mirror. Entries are
+// atomics because the server thread writes them while worker threads read
+// them for routing.
+class LocationTable {
+ public:
+  // Initializes every key's owner to its home node (the initial allocation
+  // of a classic PS).
+  explicit LocationTable(const KeyLayout* layout);
+
+  NodeId Owner(Key k) const {
+    return owner_[k].load(std::memory_order_acquire);
+  }
+  void SetOwner(Key k, NodeId node) {
+    owner_[k].store(node, std::memory_order_release);
+  }
+
+ private:
+  std::vector<std::atomic<NodeId>> owner_;
+};
+
+// Optional per-node location cache (Section 3.3). Entries are hints only:
+// they are updated opportunistically from returning responses and
+// relocations, never invalidated, and may be stale. A stale hint costs one
+// extra forward (Figure 5d), never correctness.
+class LocationCache {
+ public:
+  explicit LocationCache(uint64_t num_keys);
+
+  static constexpr NodeId kUnknown = -1;
+
+  NodeId Get(Key k) const {
+    return entries_[k].load(std::memory_order_relaxed);
+  }
+  void Update(Key k, NodeId node) {
+    entries_[k].store(node, std::memory_order_relaxed);
+  }
+
+  // Fraction of keys with a cached location (diagnostics).
+  double FillFraction() const;
+
+ private:
+  std::vector<std::atomic<NodeId>> entries_;
+};
+
+}  // namespace ps
+}  // namespace lapse
+
+#endif  // LAPSE_PS_LOCATION_H_

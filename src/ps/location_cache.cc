@@ -1,0 +1,20 @@
+#include "ps/location.h"
+
+namespace lapse {
+namespace ps {
+
+LocationCache::LocationCache(uint64_t num_keys) : entries_(num_keys) {
+  for (auto& e : entries_) e.store(kUnknown, std::memory_order_relaxed);
+}
+
+double LocationCache::FillFraction() const {
+  if (entries_.empty()) return 0.0;
+  size_t filled = 0;
+  for (const auto& e : entries_) {
+    if (e.load(std::memory_order_relaxed) != kUnknown) ++filled;
+  }
+  return static_cast<double>(filled) / static_cast<double>(entries_.size());
+}
+
+}  // namespace ps
+}  // namespace lapse

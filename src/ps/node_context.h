@@ -1,0 +1,139 @@
+#ifndef LAPSE_PS_NODE_CONTEXT_H_
+#define LAPSE_PS_NODE_CONTEXT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "net/message.h"
+#include "net/network.h"
+#include "ps/config.h"
+#include "ps/key_layout.h"
+#include "ps/latch_table.h"
+#include "ps/location.h"
+#include "ps/op_tracker.h"
+#include "ps/storage.h"
+#include "util/stats.h"
+
+namespace lapse {
+namespace ps {
+
+// Ownership state of a key at one node. Guarded by the key's latch for
+// transitions; stored as an atomic so lock-free fast-path pre-checks are
+// well-defined.
+enum class KeyState : uint8_t {
+  kNotOwned = 0,
+  kOwned = 1,
+  // A relocation to this node is in flight; operations are queued
+  // (Section 3.2) until the transfer arrives.
+  kArriving = 2,
+};
+
+// A local worker operation deferred because its key is currently arriving.
+struct DeferredLocalOp {
+  net::MsgType type;  // kPull or kPush
+  Key key;
+  Val* pull_dst = nullptr;        // for pulls
+  std::vector<Val> push_update;   // for pushes (copied)
+  int32_t worker_thread = -1;     // issuing worker slot
+  uint64_t op_id = 0;
+};
+
+// Items queued for an arriving key, in arrival order: local ops, forwarded
+// remote ops (kept as single-key messages), and relocation instructions
+// (a chained localize that must transfer the key away once it lands).
+using Deferred = std::variant<DeferredLocalOp, net::Message>;
+
+struct ArrivingKey {
+  std::vector<Deferred> queue;
+  // Localize ops of this node's own workers issued while the key was
+  // already in flight; coalesced onto the pending relocation instead of
+  // re-sending. Completed when the transfer arrives.
+  std::vector<std::pair<int32_t, uint64_t>> localize_waiters;
+};
+
+// Per-node performance counters (Table 5, Section 4.6).
+struct ServerStats {
+  Counter local_key_reads;    // keys served via shared-memory fast path
+  Counter remote_key_reads;   // keys this node's workers read via messages
+  Counter local_key_writes;
+  Counter remote_key_writes;
+  Counter queued_local_ops;   // local ops that had to wait for a relocation
+  // count = relocated keys (as requester); sum = total relocation time (ns),
+  // measured from localize issue to transfer arrival.
+  Counter relocations;
+  // count = relocated keys; sum = total blocking time (ns), measured from
+  // the moment the first operation was queued (or the transfer arrival if
+  // nothing queued) -- approximates the paper's blocking-time notion.
+  Counter localization_conflicts;  // transfers of keys some other node took
+  // Per-message-type lag between simulated delivery time and actual
+  // processing start at the server (diagnoses server backlog).
+  Counter backlog_ns[static_cast<size_t>(net::MsgType::kNumTypes)];
+  void Reset() {
+    local_key_reads.Reset();
+    remote_key_reads.Reset();
+    local_key_writes.Reset();
+    remote_key_writes.Reset();
+    queued_local_ops.Reset();
+    relocations.Reset();
+    localization_conflicts.Reset();
+    for (auto& b : backlog_ns) b.Reset();
+  }
+};
+
+// Everything one logical node's server thread and worker threads share.
+struct NodeContext {
+  NodeId node = -1;
+  const Config* config = nullptr;
+  const KeyLayout* layout = nullptr;
+
+  std::unique_ptr<Storage> store;
+  std::unique_ptr<LatchTable> latches;
+  std::vector<std::atomic<uint8_t>> key_state;  // KeyState per key
+  std::unique_ptr<LocationTable> owners;
+  std::unique_ptr<LocationCache> cache;  // null unless enabled
+
+  // Sharded by key to keep worker queueing and server draining off one
+  // mutex.
+  static constexpr size_t kArrivingShards = 16;
+  struct ArrivingShard {
+    std::mutex mu;
+    std::unordered_map<Key, ArrivingKey> map;
+  };
+  ArrivingShard arriving_shards[kArrivingShards];
+  ArrivingShard& ArrivingShardFor(Key k) {
+    return arriving_shards[k % kArrivingShards];
+  }
+
+  // One tracker per worker slot (index 0 unused; workers use slots >= 1).
+  std::vector<std::unique_ptr<OpTracker>> trackers;
+
+  ServerStats stats;
+
+  KeyState StateOf(Key k) const {
+    return static_cast<KeyState>(
+        key_state[k].load(std::memory_order_acquire));
+  }
+  void SetState(Key k, KeyState s) {
+    key_state[k].store(static_cast<uint8_t>(s), std::memory_order_release);
+  }
+
+  OpTracker& TrackerFor(int32_t thread) { return *trackers[thread]; }
+
+  // Appends a deferred item to key k's arrival queue. Caller must hold the
+  // key's latch (which is what keeps the kArriving state stable).
+  void QueueDeferred(Key k, Deferred item) {
+    ArrivingShard& shard = ArrivingShardFor(k);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map[k].queue.push_back(std::move(item));
+  }
+};
+
+}  // namespace ps
+}  // namespace lapse
+
+#endif  // LAPSE_PS_NODE_CONTEXT_H_

@@ -1,0 +1,184 @@
+#ifndef LAPSE_PS_OP_TRACKER_H_
+#define LAPSE_PS_OP_TRACKER_H_
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include <chrono>
+
+#include "net/message.h"
+#include "util/logging.h"
+
+namespace lapse {
+namespace ps {
+
+// Tracks outstanding asynchronous operations of one worker thread.
+//
+// An operation covers one or more keys; completions arrive key-subset-wise
+// (responses from different owners, queued local ops draining, relocation
+// transfers) on the node's server thread while the issuing worker may
+// concurrently Wait(). An operation is done once all its keys completed.
+//
+// Thread-safety: Create/Wait are called by the owning worker; Complete*
+// by the node's server thread (and by the worker itself for immediately
+// satisfiable keys).
+class OpTracker {
+ public:
+  static int64_t NowNanosForSpin() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  // Handle value returned for operations that completed inline.
+  static constexpr uint64_t kImmediate = 0;
+
+  struct OpState {
+    // Atomic so the owning worker can spin-wait on completion without
+    // holding the tracker mutex (which the server needs to complete keys).
+    std::atomic<size_t> remaining{0};
+    Val* pull_dst = nullptr;  // destination buffer for pulls (else null)
+    // (key, offset into pull_dst) pairs, sorted by key, for scattering
+    // response values.
+    std::vector<std::pair<Key, size_t>> key_offsets;
+    int64_t issue_ns = 0;
+  };
+
+  // Registers an operation over `key_offsets.size()` keys. Returns its id.
+  uint64_t Create(Val* pull_dst,
+                  std::vector<std::pair<Key, size_t>> key_offsets,
+                  int64_t issue_ns) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint64_t id = next_id_++;
+    OpState& op = ops_[id];
+    op.remaining.store(key_offsets.size(), std::memory_order_relaxed);
+    op.pull_dst = pull_dst;
+    op.key_offsets = std::move(key_offsets);
+    std::sort(op.key_offsets.begin(), op.key_offsets.end());
+    op.issue_ns = issue_ns;
+    return id;
+  }
+
+  // Returns the destination address for key `k` of pull op `id`, or nullptr
+  // if the op has no pull buffer. Used to serve a key and complete it in two
+  // steps without holding the tracker lock during the copy.
+  Val* PullDst(uint64_t id, Key k) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = ops_.find(id);
+    if (it == ops_.end() || it->second.pull_dst == nullptr) return nullptr;
+    const auto& ko = it->second.key_offsets;
+    auto pos = std::lower_bound(
+        ko.begin(), ko.end(), std::make_pair(k, size_t{0}),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    LAPSE_CHECK(pos != ko.end() && pos->first == k)
+        << "key " << k << " not part of op " << id;
+    return it->second.pull_dst + pos->second;
+  }
+
+  // Marks `n` keys of op `id` complete; wakes waiters when it reaches zero.
+  void CompleteKeys(uint64_t id, size_t n) {
+    if (id == kImmediate || n == 0) return;
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = ops_.find(id);
+    LAPSE_CHECK(it != ops_.end()) << "completion for unknown op " << id;
+    const size_t before =
+        it->second.remaining.fetch_sub(n, std::memory_order_acq_rel);
+    LAPSE_CHECK_GE(before, n);
+    if (before == n) {
+      lock.unlock();
+      cv_.notify_all();
+    }
+  }
+
+  // Issue timestamp of op `id` (0 if unknown/retired).
+  int64_t IssueNs(uint64_t id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = ops_.find(id);
+    return it == ops_.end() ? 0 : it->second.issue_ns;
+  }
+
+  // Blocks until op `id` is fully complete, then retires it. Spins briefly
+  // before sleeping: completions typically arrive within tens of
+  // microseconds (one simulated network round trip), far below the OS
+  // wakeup granularity.
+  void Wait(uint64_t id) {
+    if (id == kImmediate) return;
+    // Locate the op once; spin lock-free on its atomic counter (element
+    // references in unordered_map are stable, and only the owning worker
+    // erases entries).
+    std::atomic<size_t>* remaining = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = ops_.find(id);
+      if (it == ops_.end() ||
+          it->second.remaining.load(std::memory_order_acquire) == 0) {
+        ops_.erase(id);
+        return;
+      }
+      remaining = &it->second.remaining;
+    }
+    const int64_t spin_until = NowNanosForSpin() + 400'000;
+    while (remaining->load(std::memory_order_acquire) > 0) {
+      if (NowNanosForSpin() >= spin_until) {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] {
+          return remaining->load(std::memory_order_acquire) == 0;
+        });
+        break;
+      }
+      for (int p = 0; p < 32; ++p) {
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#endif
+      }
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    ops_.erase(id);
+  }
+
+  // Blocks until every outstanding op completed; retires them all.
+  void WaitAll() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] {
+      for (auto& [id, op] : ops_) {
+        if (op.remaining.load(std::memory_order_acquire) > 0) return false;
+      }
+      return true;
+    });
+    ops_.clear();
+  }
+
+  // True if op `id` has fully completed (or was retired).
+  bool IsDone(uint64_t id) {
+    if (id == kImmediate) return true;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = ops_.find(id);
+    return it == ops_.end() ||
+           it->second.remaining.load(std::memory_order_acquire) == 0;
+  }
+
+  size_t NumPending() {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t n = 0;
+    for (auto& [id, op] : ops_) {
+      if (op.remaining.load(std::memory_order_acquire) > 0) ++n;
+    }
+    return n;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<uint64_t, OpState> ops_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace ps
+}  // namespace lapse
+
+#endif  // LAPSE_PS_OP_TRACKER_H_

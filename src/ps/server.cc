@@ -1,0 +1,458 @@
+#include "ps/server.h"
+
+#include <cstring>
+#include <map>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace lapse {
+namespace ps {
+
+using net::Message;
+using net::MsgType;
+
+Server::Server(NodeContext* ctx, net::Network* network)
+    : ctx_(ctx),
+      network_(network),
+      endpoint_(network->CreateEndpoint(ctx->node, /*thread=*/0)) {}
+
+void Server::Run() {
+  Message msg;
+  while (network_->Recv(ctx_->node, &msg)) {
+    if (msg.type == MsgType::kShutdown) break;
+    Handle(std::move(msg));
+    msg = Message();
+  }
+}
+
+void Server::Handle(Message msg) {
+  ctx_->stats.backlog_ns[static_cast<size_t>(msg.type)].Add(
+      NowNanos() - msg.deliver_ns);
+  LAPSE_CHECK_LE(msg.hops, 4 * network_->num_nodes())
+      << "routing loop: " << msg.DebugString();
+  switch (msg.type) {
+    case MsgType::kPull:
+    case MsgType::kPush:
+      HandleOp(std::move(msg));
+      break;
+    case MsgType::kPullResp:
+      HandlePullResp(msg);
+      break;
+    case MsgType::kPushAck:
+      HandlePushAck(msg);
+      break;
+    case MsgType::kLocalize:
+      HandleLocalize(std::move(msg));
+      break;
+    case MsgType::kRelocateInstruct:
+      HandleInstruct(std::move(msg));
+      break;
+    case MsgType::kRelocateTransfer:
+      HandleTransfer(std::move(msg));
+      break;
+    case MsgType::kLocalizeNoop:
+      HandleLocalizeNoop(msg);
+      break;
+    case MsgType::kLocationUpdate:
+      HandleLocationUpdate(msg);
+      break;
+    default:
+      LAPSE_LOG(Fatal) << "server received unexpected message: "
+                       << msg.DebugString();
+  }
+}
+
+NodeId Server::RouteDst(Key k) const {
+  switch (ctx_->config->strategy) {
+    case LocationStrategy::kHomeNode: {
+      const NodeId home = ctx_->layout->Home(k);
+      if (home == ctx_->node) return ctx_->owners->Owner(k);
+      return home;
+    }
+    case LocationStrategy::kStaticPartition:
+      return ctx_->layout->Home(k);
+    case LocationStrategy::kBroadcastRelocations: {
+      const NodeId o = ctx_->owners->Owner(k);
+      // A stale self-view would loop; fall back to the home node, which is
+      // the key's initial owner and a reasonable guess.
+      if (o == ctx_->node) return ctx_->layout->Home(k);
+      return o;
+    }
+    case LocationStrategy::kBroadcastOps:
+      LAPSE_LOG(Fatal) << "broadcast-ops does not route point-to-point";
+  }
+  return 0;
+}
+
+void Server::ServeOwnedKey(const Message& msg, size_t /*key_index*/, Key k,
+                           const Val* push_vals,
+                           std::vector<Key>* reply_keys,
+                           std::vector<Val>* reply_vals) {
+  const size_t len = ctx_->layout->Length(k);
+  Val* slot = ctx_->store->GetOrCreate(k);
+  if (msg.type == MsgType::kPull) {
+    reply_keys->push_back(k);
+    reply_vals->insert(reply_vals->end(), slot, slot + len);
+  } else {
+    for (size_t j = 0; j < len; ++j) slot[j] += push_vals[j];
+    reply_keys->push_back(k);
+  }
+}
+
+void Server::HandleOp(Message msg) {
+  const bool is_pull = (msg.type == MsgType::kPull);
+  std::vector<Key> reply_keys;
+  std::vector<Val> reply_vals;
+  // Forwards grouped by destination (message grouping, Section 3.7).
+  std::map<NodeId, std::pair<std::vector<Key>, std::vector<Val>>> forwards;
+
+  size_t val_off = 0;
+  for (size_t i = 0; i < msg.keys.size(); ++i) {
+    const Key k = msg.keys[i];
+    const size_t len = is_pull ? 0 : ctx_->layout->Length(k);
+    const Val* push_vals = is_pull ? nullptr : msg.vals.data() + val_off;
+    val_off += len;
+
+    std::lock_guard<std::mutex> latch(ctx_->latches->ForKey(k));
+    const KeyState state = ctx_->StateOf(k);
+    if (state == KeyState::kOwned) {
+      ServeOwnedKey(msg, i, k, push_vals, &reply_keys, &reply_vals);
+    } else if (state == KeyState::kArriving) {
+      // Queue a single-key copy until the relocation finishes (§3.2).
+      Message d;
+      d.type = msg.type;
+      d.orig_node = msg.orig_node;
+      d.orig_thread = msg.orig_thread;
+      d.op_id = msg.op_id;
+      d.hops = msg.hops;
+      d.keys.push_back(k);
+      if (!is_pull) d.vals.assign(push_vals, push_vals + len);
+      ctx_->QueueDeferred(k, std::move(d));
+    } else {
+      if (ctx_->config->strategy == LocationStrategy::kBroadcastOps) {
+        continue;  // some other node owns this key and will answer
+      }
+      auto& group = forwards[RouteDst(k)];
+      group.first.push_back(k);
+      if (!is_pull) {
+        group.second.insert(group.second.end(), push_vals, push_vals + len);
+      }
+    }
+  }
+
+  if (!reply_keys.empty()) {
+    SendReply(msg, is_pull ? MsgType::kPullResp : MsgType::kPushAck,
+              std::move(reply_keys), std::move(reply_vals));
+  }
+  for (auto& [dst, group] : forwards) {
+    Message f;
+    f.type = msg.type;
+    f.dst_node = dst;
+    f.orig_node = msg.orig_node;
+    f.orig_thread = msg.orig_thread;
+    f.op_id = msg.op_id;
+    f.hops = msg.hops + 1;
+    f.keys = std::move(group.first);
+    f.vals = std::move(group.second);
+    endpoint_->Send(std::move(f));
+  }
+}
+
+void Server::ExtractKey(Key k, std::vector<Key>* keys,
+                        std::vector<Val>* vals) {
+  const size_t len = ctx_->layout->Length(k);
+  Val* slot = ctx_->store->GetOrCreate(k);
+  keys->push_back(k);
+  vals->insert(vals->end(), slot, slot + len);
+  ctx_->store->Erase(k);
+  ctx_->SetState(k, KeyState::kNotOwned);
+}
+
+void Server::HandleLocalize(Message msg) {
+  const NodeId requester = msg.requester_node;
+  LAPSE_CHECK_GE(requester, 0);
+
+  if (ctx_->config->strategy == LocationStrategy::kBroadcastRelocations) {
+    // Direct localize at the believed owner.
+    std::vector<Key> tkeys;
+    std::vector<Val> tvals;
+    for (const Key k : msg.keys) {
+      std::lock_guard<std::mutex> latch(ctx_->latches->ForKey(k));
+      const KeyState state = ctx_->StateOf(k);
+      if (state == KeyState::kOwned) {
+        ctx_->owners->SetOwner(k, requester);
+        ExtractKey(k, &tkeys, &tvals);
+      } else if (state == KeyState::kArriving) {
+        Message d = msg;
+        d.keys = {k};
+        d.vals.clear();
+        ctx_->QueueDeferred(k, std::move(d));
+      } else {
+        // Stale view: chase the owner.
+        Message f = msg;
+        f.keys = {k};
+        f.vals.clear();
+        f.dst_node = RouteDst(k);
+        f.hops = msg.hops + 1;
+        endpoint_->Send(std::move(f));
+      }
+    }
+    if (!tkeys.empty()) {
+      Message t;
+      t.type = MsgType::kRelocateTransfer;
+      t.dst_node = requester;
+      t.requester_node = requester;
+      t.orig_node = msg.orig_node;
+      t.orig_thread = msg.orig_thread;
+      t.op_id = msg.op_id;
+      t.keys = std::move(tkeys);
+      t.vals = std::move(tvals);
+      endpoint_->Send(std::move(t));
+    }
+    return;
+  }
+
+  // Home-node strategy: we are the home of every key in this message.
+  std::vector<Key> noop_keys;
+  std::map<NodeId, std::vector<Key>> by_old_owner;
+  for (const Key k : msg.keys) {
+    LAPSE_CHECK_EQ(ctx_->layout->Home(k), ctx_->node)
+        << "localize for key " << k << " routed to non-home node";
+    const NodeId current = ctx_->owners->Owner(k);
+    if (current == requester) {
+      LAPSE_LOG(Warning) << "localize no-op: node " << requester
+                         << " already owns key " << k;
+      noop_keys.push_back(k);
+      continue;
+    }
+    // Update the location immediately; subsequent accesses arriving at the
+    // home are routed to the requester from now on (§3.2, message 1).
+    ctx_->owners->SetOwner(k, requester);
+    by_old_owner[current].push_back(k);
+  }
+
+  if (!noop_keys.empty()) {
+    Message n;
+    n.type = MsgType::kLocalizeNoop;
+    n.dst_node = requester;
+    n.orig_node = msg.orig_node;
+    n.orig_thread = msg.orig_thread;
+    n.op_id = msg.op_id;
+    n.keys = std::move(noop_keys);
+    endpoint_->Send(std::move(n));
+  }
+
+  for (auto& [old_owner, keys] : by_old_owner) {
+    Message instr;
+    instr.type = MsgType::kRelocateInstruct;
+    instr.dst_node = old_owner;
+    instr.requester_node = requester;
+    instr.orig_node = msg.orig_node;
+    instr.orig_thread = msg.orig_thread;
+    instr.op_id = msg.op_id;
+    instr.hops = msg.hops + 1;
+    instr.keys = std::move(keys);
+    if (old_owner == ctx_->node) {
+      // The home itself is the old owner: hand over directly (the 2-message
+      // relocation the paper notes for 2-node clusters).
+      HandleInstruct(std::move(instr));
+    } else {
+      endpoint_->Send(std::move(instr));
+    }
+  }
+}
+
+void Server::HandleInstruct(Message msg) {
+  std::vector<Key> tkeys;
+  std::vector<Val> tvals;
+  for (const Key k : msg.keys) {
+    std::lock_guard<std::mutex> latch(ctx_->latches->ForKey(k));
+    const KeyState state = ctx_->StateOf(k);
+    if (state == KeyState::kOwned) {
+      ExtractKey(k, &tkeys, &tvals);
+    } else if (state == KeyState::kArriving) {
+      // The key is still on its way to us (chained relocation): defer the
+      // hand-over until it lands.
+      Message d = msg;
+      d.keys = {k};
+      d.vals.clear();
+      ctx_->QueueDeferred(k, std::move(d));
+    } else {
+      LAPSE_LOG(Fatal) << "relocate instruct for key " << k << " at node "
+                       << ctx_->node << " which does not hold it";
+    }
+  }
+  if (!tkeys.empty()) {
+    Message t;
+    t.type = MsgType::kRelocateTransfer;
+    t.dst_node = msg.requester_node;
+    t.requester_node = msg.requester_node;
+    t.orig_node = msg.orig_node;
+    t.orig_thread = msg.orig_thread;
+    t.op_id = msg.op_id;
+    t.keys = std::move(tkeys);
+    t.vals = std::move(tvals);
+    endpoint_->Send(std::move(t));
+  }
+}
+
+void Server::HandleTransfer(Message msg) {
+  LAPSE_CHECK_EQ(msg.orig_node, ctx_->node)
+      << "transfer must arrive at the requester";
+  OpTracker& tracker = ctx_->TrackerFor(msg.orig_thread);
+  const int64_t now = NowNanos();
+  const int64_t issue = tracker.IssueNs(msg.op_id);
+  const int64_t rt = issue > 0 ? now - issue : 0;
+
+  size_t val_off = 0;
+  for (const Key k : msg.keys) {
+    const size_t len = ctx_->layout->Length(k);
+    std::lock_guard<std::mutex> latch(ctx_->latches->ForKey(k));
+    ctx_->store->Put(k, msg.vals.data() + val_off);
+    val_off += len;
+    ctx_->SetState(k, KeyState::kOwned);
+    if (ctx_->cache) ctx_->cache->Update(k, ctx_->node);
+    ctx_->stats.relocations.Add(rt);
+    DrainArrived(k);
+  }
+  // All keys of one transfer belong to the same localize op: complete them
+  // in one tracker transaction.
+  tracker.CompleteKeys(msg.op_id, msg.keys.size());
+}
+
+void Server::DrainArrived(Key k) {
+  ArrivingKey entry;
+  {
+    NodeContext::ArrivingShard& shard = ctx_->ArrivingShardFor(k);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(k);
+    if (it == shard.map.end()) return;
+    entry = std::move(it->second);
+    shard.map.erase(it);
+  }
+
+  // Coalesced localize calls by local workers complete now.
+  for (const auto& [thread, op_id] : entry.localize_waiters) {
+    ctx_->TrackerFor(thread).CompleteKeys(op_id, 1);
+  }
+
+  const size_t len = ctx_->layout->Length(k);
+  for (size_t i = 0; i < entry.queue.size(); ++i) {
+    Deferred& item = entry.queue[i];
+    if (std::holds_alternative<DeferredLocalOp>(item)) {
+      DeferredLocalOp& op = std::get<DeferredLocalOp>(item);
+      Val* slot = ctx_->store->GetOrCreate(k);
+      if (op.type == MsgType::kPull) {
+        std::memcpy(op.pull_dst, slot, len * sizeof(Val));
+      } else {
+        for (size_t j = 0; j < len; ++j) slot[j] += op.push_update[j];
+      }
+      ctx_->TrackerFor(op.worker_thread).CompleteKeys(op.op_id, 1);
+      continue;
+    }
+    Message& m = std::get<Message>(item);
+    if (m.type == MsgType::kPull || m.type == MsgType::kPush) {
+      std::vector<Key> reply_keys;
+      std::vector<Val> reply_vals;
+      ServeOwnedKey(m, 0, k, m.vals.data(), &reply_keys, &reply_vals);
+      SendReply(m, m.type == MsgType::kPull ? MsgType::kPullResp
+                                            : MsgType::kPushAck,
+                std::move(reply_keys), std::move(reply_vals));
+      continue;
+    }
+    // A deferred hand-over (instruct, or direct localize under
+    // broadcast-relocations): the key leaves again immediately.
+    LAPSE_CHECK(m.type == MsgType::kRelocateInstruct ||
+                m.type == MsgType::kLocalize);
+    if (ctx_->config->strategy == LocationStrategy::kBroadcastRelocations) {
+      ctx_->owners->SetOwner(k, m.requester_node);
+    }
+    std::vector<Key> tkeys;
+    std::vector<Val> tvals;
+    ExtractKey(k, &tkeys, &tvals);
+    ctx_->stats.localization_conflicts.Add(1);
+    Message t;
+    t.type = MsgType::kRelocateTransfer;
+    t.dst_node = m.requester_node;
+    t.requester_node = m.requester_node;
+    t.orig_node = m.orig_node;
+    t.orig_thread = m.orig_thread;
+    t.op_id = m.op_id;
+    t.keys = std::move(tkeys);
+    t.vals = std::move(tvals);
+    endpoint_->Send(std::move(t));
+    // Everything queued after the hand-over chases the key over the
+    // network, preserving per-worker order.
+    for (size_t j = i + 1; j < entry.queue.size(); ++j) {
+      ForwardDeferred(k, std::move(entry.queue[j]));
+    }
+    return;
+  }
+}
+
+void Server::ForwardDeferred(Key k, Deferred item) {
+  Message m;
+  if (std::holds_alternative<DeferredLocalOp>(item)) {
+    DeferredLocalOp& op = std::get<DeferredLocalOp>(item);
+    m.type = op.type;
+    m.orig_node = ctx_->node;
+    m.orig_thread = op.worker_thread;
+    m.op_id = op.op_id;
+    m.keys.push_back(k);
+    if (op.type == MsgType::kPush) m.vals = std::move(op.push_update);
+  } else {
+    m = std::move(std::get<Message>(item));
+    m.hops += 1;
+  }
+  m.dst_node = RouteDst(k);
+  endpoint_->Send(std::move(m));
+}
+
+void Server::HandlePullResp(const Message& msg) {
+  OpTracker& tracker = ctx_->TrackerFor(msg.orig_thread);
+  size_t val_off = 0;
+  for (const Key k : msg.keys) {
+    const size_t len = ctx_->layout->Length(k);
+    Val* dst = tracker.PullDst(msg.op_id, k);
+    LAPSE_CHECK(dst != nullptr);
+    std::memcpy(dst, msg.vals.data() + val_off, len * sizeof(Val));
+    val_off += len;
+    if (ctx_->cache) ctx_->cache->Update(k, msg.src_node);
+  }
+  tracker.CompleteKeys(msg.op_id, msg.keys.size());
+}
+
+void Server::HandlePushAck(const Message& msg) {
+  if (ctx_->cache) {
+    for (const Key k : msg.keys) ctx_->cache->Update(k, msg.src_node);
+  }
+  ctx_->TrackerFor(msg.orig_thread).CompleteKeys(msg.op_id, msg.keys.size());
+}
+
+void Server::HandleLocalizeNoop(const Message& msg) {
+  ctx_->TrackerFor(msg.orig_thread).CompleteKeys(msg.op_id, msg.keys.size());
+}
+
+void Server::HandleLocationUpdate(const Message& msg) {
+  LAPSE_CHECK(!msg.aux.empty());
+  const NodeId new_owner = static_cast<NodeId>(msg.aux[0]);
+  for (const Key k : msg.keys) ctx_->owners->SetOwner(k, new_owner);
+}
+
+void Server::SendReply(const Message& request, MsgType type,
+                       std::vector<Key> keys, std::vector<Val> vals) {
+  Message r;
+  r.type = type;
+  r.dst_node = request.orig_node;
+  r.orig_node = request.orig_node;
+  r.orig_thread = request.orig_thread;
+  r.op_id = request.op_id;
+  r.keys = std::move(keys);
+  r.vals = std::move(vals);
+  endpoint_->Send(std::move(r));
+}
+
+}  // namespace ps
+}  // namespace lapse

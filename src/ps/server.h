@@ -1,0 +1,84 @@
+#ifndef LAPSE_PS_SERVER_H_
+#define LAPSE_PS_SERVER_H_
+
+#include <memory>
+#include <vector>
+
+#include "net/network.h"
+#include "ps/node_context.h"
+
+namespace lapse {
+namespace ps {
+
+// Server thread logic of one node: processes pulls/pushes for keys it owns,
+// routes operations for keys it does not (forward strategy, Figure 5),
+// executes the three-message relocation protocol (Figure 4), and completes
+// the node's workers' pending operations when responses arrive.
+class Server {
+ public:
+  Server(NodeContext* ctx, net::Network* network);
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Event loop; returns when the network shuts down.
+  void Run();
+
+ private:
+  void Handle(net::Message msg);
+
+  // kPull / kPush for keys possibly owned here; splits into
+  // process-here / queue-arriving / forward-elsewhere per key.
+  void HandleOp(net::Message msg);
+
+  // Home-node side of localize (message 1 -> message 2). Under the
+  // broadcast-relocations strategy this arrives directly at the believed
+  // owner instead.
+  void HandleLocalize(net::Message msg);
+
+  // Old-owner side: hand keys over to the requester (message 2 -> 3).
+  void HandleInstruct(net::Message msg);
+
+  // Requester side: install arrived keys, complete the localize op, drain
+  // queued operations in order.
+  void HandleTransfer(net::Message msg);
+
+  // Response handling: scatter pulled values / acks into worker trackers,
+  // refresh the location cache.
+  void HandlePullResp(const net::Message& msg);
+  void HandlePushAck(const net::Message& msg);
+  void HandleLocalizeNoop(const net::Message& msg);
+  void HandleLocationUpdate(const net::Message& msg);
+
+  // Applies a single-key pull/push for an owned key (caller holds the
+  // latch) and accumulates the reply.
+  void ServeOwnedKey(const net::Message& msg, size_t key_index, Key k,
+                     const Val* push_vals, std::vector<Key>* reply_keys,
+                     std::vector<Val>* reply_vals);
+
+  // Removes `k` (caller holds the latch; state must be kOwned) and appends
+  // its value to a transfer payload.
+  void ExtractKey(Key k, std::vector<Key>* keys, std::vector<Val>* vals);
+
+  // Where this server forwards an operation on a non-owned key.
+  NodeId RouteDst(Key k) const;
+
+  // Drains the deferred queue of a freshly-arrived key. Caller holds the
+  // latch of `k`. May transfer the key away again (chained instruct).
+  void DrainArrived(Key k);
+
+  // Re-sends a deferred item over the network after the key moved away.
+  void ForwardDeferred(Key k, Deferred item);
+
+  void SendReply(const net::Message& request, net::MsgType type,
+                 std::vector<Key> keys, std::vector<Val> vals);
+
+  NodeContext* ctx_;
+  net::Network* network_;
+  std::unique_ptr<net::Endpoint> endpoint_;
+};
+
+}  // namespace ps
+}  // namespace lapse
+
+#endif  // LAPSE_PS_SERVER_H_

@@ -1,0 +1,78 @@
+#include "ps/storage.h"
+
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace lapse {
+namespace ps {
+
+DenseStorage::DenseStorage(const KeyLayout* layout)
+    : layout_(layout), data_(layout->TotalVals(), 0.0f) {}
+
+void DenseStorage::Put(Key k, const Val* data) {
+  std::memcpy(Get(k), data, layout_->Length(k) * sizeof(Val));
+}
+
+void DenseStorage::Erase(Key k) {
+  // Ownership is tracked outside the store; zero the slot so a later
+  // GetOrCreate observes a fresh value, mirroring the sparse store.
+  std::memset(Get(k), 0, layout_->Length(k) * sizeof(Val));
+}
+
+SparseStorage::SparseStorage(const KeyLayout* layout)
+    : layout_(layout), shards_(kNumShards) {}
+
+Val* SparseStorage::Get(Key k) {
+  Shard& shard = ShardFor(k);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(k);
+  return it == shard.map.end() ? nullptr : it->second.data();
+}
+
+Val* SparseStorage::GetOrCreate(Key k) {
+  Shard& shard = ShardFor(k);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto [it, inserted] = shard.map.try_emplace(k);
+  if (inserted) it->second.assign(layout_->Length(k), 0.0f);
+  return it->second.data();
+}
+
+void SparseStorage::Put(Key k, const Val* data) {
+  Shard& shard = ShardFor(k);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto [it, inserted] = shard.map.try_emplace(k);
+  it->second.assign(data, data + layout_->Length(k));
+}
+
+void SparseStorage::Erase(Key k) {
+  Shard& shard = ShardFor(k);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.map.erase(k);
+}
+
+size_t SparseStorage::MemoryBytes() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(const_cast<std::mutex&>(shard.mu));
+    for (const auto& [k, v] : shard.map) {
+      total += sizeof(Key) + v.capacity() * sizeof(Val) + 48;
+    }
+  }
+  return total;
+}
+
+std::unique_ptr<Storage> CreateStorage(StorageKind kind,
+                                       const KeyLayout* layout) {
+  switch (kind) {
+    case StorageKind::kDense:
+      return std::make_unique<DenseStorage>(layout);
+    case StorageKind::kSparse:
+      return std::make_unique<SparseStorage>(layout);
+  }
+  LAPSE_LOG(Fatal) << "unknown storage kind";
+  return nullptr;
+}
+
+}  // namespace ps
+}  // namespace lapse

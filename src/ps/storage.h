@@ -1,0 +1,97 @@
+#ifndef LAPSE_PS_STORAGE_H_
+#define LAPSE_PS_STORAGE_H_
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "net/message.h"
+#include "ps/config.h"
+#include "ps/key_layout.h"
+
+namespace lapse {
+namespace ps {
+
+// Local parameter store of one node (Section 3.7: dense arrays or sparse
+// maps). Value *content* accesses must be protected by the per-key latch
+// table; the store itself only guarantees that its internal structure is
+// safe under concurrent operations on different keys.
+class Storage {
+ public:
+  virtual ~Storage() = default;
+
+  // Pointer to key k's value vector (layout.Length(k) elements), or nullptr
+  // if the key has no slot here (sparse store only; dense stores always
+  // have a slot). The pointer stays valid until Erase(k).
+  virtual Val* Get(Key k) = 0;
+
+  // Ensures a (zero-initialized) slot exists and returns it.
+  virtual Val* GetOrCreate(Key k) = 0;
+
+  // Copies `data` (layout.Length(k) elements) into key k's slot, creating
+  // it if needed.
+  virtual void Put(Key k, const Val* data) = 0;
+
+  // Drops key k's slot (sparse) / forgets the value (dense).
+  virtual void Erase(Key k) = 0;
+
+  // Approximate resident bytes, for Table 4-style reporting.
+  virtual size_t MemoryBytes() const = 0;
+};
+
+// Dense store: one flat array covering the entire key space. With dynamic
+// allocation any node may own any key, so every node allocates the full
+// model (the paper's dense variant does the same within each server's
+// potential range).
+class DenseStorage : public Storage {
+ public:
+  explicit DenseStorage(const KeyLayout* layout);
+
+  Val* Get(Key k) override { return data_.data() + layout_->Offset(k); }
+  Val* GetOrCreate(Key k) override { return Get(k); }
+  void Put(Key k, const Val* data) override;
+  void Erase(Key k) override;
+  size_t MemoryBytes() const override {
+    return data_.size() * sizeof(Val);
+  }
+
+ private:
+  const KeyLayout* layout_;
+  std::vector<Val> data_;
+};
+
+// Sparse store: sharded hash map. Shard mutexes protect the map structure;
+// element pointers remain stable across other keys' inserts/erases
+// (std::unordered_map reference stability), so returned pointers may be used
+// under the per-key latch after the shard lock is released.
+class SparseStorage : public Storage {
+ public:
+  explicit SparseStorage(const KeyLayout* layout);
+
+  Val* Get(Key k) override;
+  Val* GetOrCreate(Key k) override;
+  void Put(Key k, const Val* data) override;
+  void Erase(Key k) override;
+  size_t MemoryBytes() const override;
+
+ private:
+  static constexpr size_t kNumShards = 64;
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<Key, std::vector<Val>> map;
+  };
+  Shard& ShardFor(Key k) { return shards_[k % kNumShards]; }
+
+  const KeyLayout* layout_;
+  std::vector<Shard> shards_;
+};
+
+// Factory.
+std::unique_ptr<Storage> CreateStorage(StorageKind kind,
+                                       const KeyLayout* layout);
+
+}  // namespace ps
+}  // namespace lapse
+
+#endif  // LAPSE_PS_STORAGE_H_

@@ -1,0 +1,155 @@
+#include "ps/system.h"
+
+#include <cstring>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace lapse {
+namespace ps {
+namespace {
+
+KeyLayout MakeLayout(const Config& config) {
+  if (!config.value_lengths.empty()) {
+    return KeyLayout(config.value_lengths, config.num_nodes);
+  }
+  return KeyLayout(config.num_keys, config.uniform_value_length,
+                   config.num_nodes);
+}
+
+}  // namespace
+
+PsSystem::PsSystem(Config config)
+    : config_((config.Normalize(), std::move(config))),
+      layout_(MakeLayout(config_)),
+      network_(config_.num_nodes, config_.latency, config_.seed),
+      worker_barrier_(static_cast<size_t>(config_.total_workers())) {
+  nodes_.reserve(config_.num_nodes);
+  for (NodeId n = 0; n < config_.num_nodes; ++n) {
+    auto ctx = std::make_unique<NodeContext>();
+    ctx->node = n;
+    ctx->config = &config_;
+    ctx->layout = &layout_;
+    ctx->store = CreateStorage(config_.storage, &layout_);
+    ctx->latches = std::make_unique<LatchTable>(config_.num_latches);
+    ctx->key_state = std::vector<std::atomic<uint8_t>>(layout_.num_keys());
+    for (uint64_t k = 0; k < layout_.num_keys(); ++k) {
+      const bool here = (layout_.Home(k) == n);
+      ctx->key_state[k].store(
+          static_cast<uint8_t>(here ? KeyState::kOwned
+                                    : KeyState::kNotOwned),
+          std::memory_order_relaxed);
+    }
+    ctx->owners = std::make_unique<LocationTable>(&layout_);
+    if (config_.location_caches) {
+      ctx->cache = std::make_unique<LocationCache>(layout_.num_keys());
+    }
+    ctx->trackers.reserve(config_.workers_per_node + 1);
+    for (int t = 0; t <= config_.workers_per_node; ++t) {
+      ctx->trackers.push_back(std::make_unique<OpTracker>());
+    }
+    nodes_.push_back(std::move(ctx));
+  }
+  servers_.reserve(config_.num_nodes);
+  for (NodeId n = 0; n < config_.num_nodes; ++n) {
+    servers_.push_back(std::make_unique<Server>(nodes_[n].get(), &network_));
+  }
+  server_threads_.reserve(config_.num_nodes);
+  for (NodeId n = 0; n < config_.num_nodes; ++n) {
+    server_threads_.emplace_back([this, n] { servers_[n]->Run(); });
+  }
+}
+
+PsSystem::~PsSystem() {
+  network_.Shutdown();
+  for (auto& t : server_threads_) t.join();
+}
+
+void PsSystem::Run(const std::function<void(Worker&)>& fn) {
+  std::vector<std::thread> threads;
+  threads.reserve(config_.total_workers());
+  for (NodeId n = 0; n < config_.num_nodes; ++n) {
+    for (int t = 1; t <= config_.workers_per_node; ++t) {
+      const int global_id = n * config_.workers_per_node + (t - 1);
+      threads.emplace_back([this, n, t, global_id, &fn] {
+        const uint64_t seed =
+            Mix64(config_.seed ^ (0xabcdULL + static_cast<uint64_t>(
+                                                  global_id + 1)));
+        Worker worker(nodes_[n].get(), &network_, &worker_barrier_, t,
+                      global_id, seed);
+        fn(worker);
+        worker.WaitAll();
+      });
+    }
+  }
+  for (auto& t : threads) t.join();
+}
+
+void PsSystem::SetValue(Key k, const Val* data) {
+  const NodeId owner = OwnerOf(k);
+  NodeContext& ctx = *nodes_[owner];
+  std::lock_guard<std::mutex> latch(ctx.latches->ForKey(k));
+  LAPSE_CHECK(ctx.StateOf(k) == KeyState::kOwned);
+  ctx.store->Put(k, data);
+}
+
+void PsSystem::GetValue(Key k, Val* dst) {
+  const NodeId owner = OwnerOf(k);
+  NodeContext& ctx = *nodes_[owner];
+  std::lock_guard<std::mutex> latch(ctx.latches->ForKey(k));
+  LAPSE_CHECK(ctx.StateOf(k) == KeyState::kOwned);
+  std::memcpy(dst, ctx.store->GetOrCreate(k),
+              layout_.Length(k) * sizeof(Val));
+}
+
+NodeId PsSystem::OwnerOf(Key k) const {
+  return nodes_[layout_.Home(k)]->owners->Owner(k);
+}
+
+int64_t PsSystem::TotalLocalReads() const {
+  int64_t total = 0;
+  for (const auto& n : nodes_) total += n->stats.local_key_reads.sum();
+  return total;
+}
+
+int64_t PsSystem::TotalRemoteReads() const {
+  int64_t total = 0;
+  for (const auto& n : nodes_) total += n->stats.remote_key_reads.sum();
+  return total;
+}
+
+int64_t PsSystem::TotalLocalWrites() const {
+  int64_t total = 0;
+  for (const auto& n : nodes_) total += n->stats.local_key_writes.sum();
+  return total;
+}
+
+int64_t PsSystem::TotalRemoteWrites() const {
+  int64_t total = 0;
+  for (const auto& n : nodes_) total += n->stats.remote_key_writes.sum();
+  return total;
+}
+
+int64_t PsSystem::TotalRelocatedKeys() const {
+  int64_t total = 0;
+  for (const auto& n : nodes_) total += n->stats.relocations.count();
+  return total;
+}
+
+double PsSystem::MeanRelocationNs() const {
+  int64_t count = 0, sum = 0;
+  for (const auto& n : nodes_) {
+    count += n->stats.relocations.count();
+    sum += n->stats.relocations.sum();
+  }
+  return count == 0 ? 0.0
+                    : static_cast<double>(sum) / static_cast<double>(count);
+}
+
+void PsSystem::ResetStats() {
+  for (auto& n : nodes_) n->stats.Reset();
+  network_.stats().Reset();
+}
+
+}  // namespace ps
+}  // namespace lapse

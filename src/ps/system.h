@@ -1,0 +1,90 @@
+#ifndef LAPSE_PS_SYSTEM_H_
+#define LAPSE_PS_SYSTEM_H_
+
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "net/network.h"
+#include "ps/config.h"
+#include "ps/key_layout.h"
+#include "ps/node_context.h"
+#include "ps/server.h"
+#include "ps/worker.h"
+#include "util/barrier.h"
+
+namespace lapse {
+namespace ps {
+
+// A simulated PS deployment: `num_nodes` logical nodes, each with one
+// server thread and `workers_per_node` worker threads, connected by the
+// in-process network (Figure 2 of the paper).
+//
+// Typical use:
+//
+//   ps::Config cfg;
+//   cfg.num_nodes = 4;
+//   cfg.num_keys = 1000;
+//   cfg.uniform_value_length = 16;
+//   ps::PsSystem system(cfg);
+//   system.Run([&](ps::Worker& w) {
+//     std::vector<Val> buf(16);
+//     w.Localize({some_key});
+//     w.Pull({some_key}, buf.data());
+//     ...
+//   });
+//
+// Server threads start in the constructor and stop in the destructor, so
+// several Run() phases can share state. Run() blocks until every worker
+// function returned (each worker's outstanding async ops are drained).
+class PsSystem {
+ public:
+  explicit PsSystem(Config config);
+  ~PsSystem();
+
+  PsSystem(const PsSystem&) = delete;
+  PsSystem& operator=(const PsSystem&) = delete;
+
+  // Spawns all worker threads running `fn` and joins them.
+  void Run(const std::function<void(Worker&)>& fn);
+
+  // Direct value initialization, only valid while no workers run. Writes to
+  // the key's current owner.
+  void SetValue(Key k, const Val* data);
+  // Reads the key's current value from its owner into `dst`. Only gives a
+  // consistent answer while no workers run.
+  void GetValue(Key k, Val* dst);
+  // Current owner of key k (per its home's location table).
+  NodeId OwnerOf(Key k) const;
+
+  const Config& config() const { return config_; }
+  const KeyLayout& layout() const { return layout_; }
+  net::NetStats& net_stats() { return network_.stats(); }
+  ServerStats& node_stats(NodeId n) { return nodes_[n]->stats; }
+  NodeContext& node_context(NodeId n) { return *nodes_[n]; }
+
+  // Sums a field over all nodes.
+  int64_t TotalLocalReads() const;
+  int64_t TotalRemoteReads() const;
+  int64_t TotalLocalWrites() const;
+  int64_t TotalRemoteWrites() const;
+  int64_t TotalRelocatedKeys() const;
+  double MeanRelocationNs() const;
+
+  void ResetStats();
+
+ private:
+  Config config_;
+  KeyLayout layout_;
+  net::Network network_;
+  Barrier worker_barrier_;
+  std::vector<std::unique_ptr<NodeContext>> nodes_;
+  std::vector<std::unique_ptr<Server>> servers_;
+  std::vector<std::thread> server_threads_;
+};
+
+}  // namespace ps
+}  // namespace lapse
+
+#endif  // LAPSE_PS_SYSTEM_H_

@@ -1,0 +1,436 @@
+#include "ps/worker.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <mutex>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace lapse {
+namespace ps {
+
+using net::Message;
+using net::MsgType;
+
+Worker::Worker(NodeContext* ctx, net::Network* network,
+               ::lapse::Barrier* barrier,
+               int32_t thread_slot, int global_id, uint64_t seed)
+    : ctx_(ctx),
+      barrier_(barrier),
+      thread_(thread_slot),
+      global_id_(global_id),
+      endpoint_(network->CreateEndpoint(ctx->node, thread_slot)),
+      tracker_(ctx->trackers[thread_slot].get()),
+      rng_(seed) {
+  const Architecture arch = ctx_->config->arch;
+  fast_local_ = (arch != Architecture::kClassic);
+  dpa_enabled_ =
+      (arch == Architecture::kLapse &&
+       (ctx_->config->strategy == LocationStrategy::kHomeNode ||
+        ctx_->config->strategy == LocationStrategy::kBroadcastRelocations));
+}
+
+Worker::~Worker() { tracker_->WaitAll(); }
+
+void Worker::CheckDistinct(const std::vector<Key>& keys) const {
+  if (keys.size() <= 1) return;
+  std::vector<Key> sorted(keys);
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    LAPSE_CHECK_NE(sorted[i - 1], sorted[i])
+        << "duplicate key in one operation";
+  }
+}
+
+NodeId Worker::RemoteDst(Key k) const {
+  switch (ctx_->config->strategy) {
+    case LocationStrategy::kHomeNode: {
+      if (ctx_->cache) {
+        const NodeId cached = ctx_->cache->Get(k);
+        if (cached != LocationCache::kUnknown) return cached;
+      }
+      return ctx_->layout->Home(k);
+    }
+    case LocationStrategy::kStaticPartition:
+      return ctx_->layout->Home(k);
+    case LocationStrategy::kBroadcastRelocations: {
+      const NodeId o = ctx_->owners->Owner(k);
+      return o == ctx_->node ? ctx_->layout->Home(k) : o;
+    }
+    case LocationStrategy::kBroadcastOps:
+      LAPSE_LOG(Fatal) << "broadcast-ops has no point-to-point destination";
+  }
+  return 0;
+}
+
+uint64_t Worker::PullAsync(const std::vector<Key>& keys, Val* dst) {
+  CheckDistinct(keys);
+  const KeyLayout& layout = *ctx_->layout;
+
+  // Fast path: every key owned locally (shared-memory access, §3.3).
+  if (fast_local_) {
+    bool all_owned = true;
+    for (const Key k : keys) {
+      if (ctx_->StateOf(k) != KeyState::kOwned) {
+        all_owned = false;
+        break;
+      }
+    }
+    if (all_owned) {
+      std::vector<size_t> idx;
+      idx.reserve(keys.size());
+      for (const Key k : keys) idx.push_back(ctx_->latches->IndexOf(k));
+      std::sort(idx.begin(), idx.end());
+      idx.erase(std::unique(idx.begin(), idx.end()), idx.end());
+      std::vector<std::unique_lock<std::mutex>> locks;
+      locks.reserve(idx.size());
+      for (const size_t i : idx) {
+        locks.emplace_back(ctx_->latches->ByIndex(i));
+      }
+      bool still_owned = true;
+      for (const Key k : keys) {
+        if (ctx_->StateOf(k) != KeyState::kOwned) {
+          still_owned = false;
+          break;
+        }
+      }
+      if (still_owned) {
+        size_t off = 0;
+        for (const Key k : keys) {
+          const size_t len = layout.Length(k);
+          std::memcpy(dst + off, ctx_->store->GetOrCreate(k),
+                      len * sizeof(Val));
+          off += len;
+        }
+        ctx_->stats.local_key_reads.Add(static_cast<int64_t>(keys.size()));
+        return kImmediate;
+      }
+    }
+  }
+
+  // Slow path: mixed local/remote, or classic (message-only) architecture.
+  std::vector<std::pair<Key, size_t>> key_offsets;
+  key_offsets.reserve(keys.size());
+  {
+    size_t off = 0;
+    for (const Key k : keys) {
+      key_offsets.emplace_back(k, off);
+      off += layout.Length(k);
+    }
+  }
+  const uint64_t op = tracker_->Create(dst, key_offsets, NowNanos());
+
+  size_t inline_done = 0;
+  int64_t local_reads = 0, remote_reads = 0, queued = 0;
+  std::map<NodeId, std::vector<Key>> groups;
+  std::vector<Key> broadcast_keys;
+
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const Key k = keys[i];
+    const size_t off = key_offsets[i].second;
+    bool handled = false;
+    if (fast_local_) {
+      std::lock_guard<std::mutex> latch(ctx_->latches->ForKey(k));
+      const KeyState state = ctx_->StateOf(k);
+      if (state == KeyState::kOwned) {
+        std::memcpy(dst + off, ctx_->store->GetOrCreate(k),
+                    layout.Length(k) * sizeof(Val));
+        ++inline_done;
+        ++local_reads;
+        handled = true;
+      } else if (state == KeyState::kArriving && dpa_enabled_) {
+        DeferredLocalOp d;
+        d.type = MsgType::kPull;
+        d.key = k;
+        d.pull_dst = dst + off;
+        d.worker_thread = thread_;
+        d.op_id = op;
+        ctx_->QueueDeferred(k, std::move(d));
+        ++queued;
+        ++local_reads;
+        handled = true;
+      }
+    }
+    if (handled) continue;
+    ++remote_reads;
+    if (ctx_->config->strategy == LocationStrategy::kBroadcastOps) {
+      broadcast_keys.push_back(k);
+    } else {
+      groups[RemoteDst(k)].push_back(k);
+    }
+  }
+
+  ctx_->stats.local_key_reads.Add(local_reads);
+  ctx_->stats.remote_key_reads.Add(remote_reads);
+  ctx_->stats.queued_local_ops.Add(queued);
+
+  for (auto& [dst_node, group_keys] : groups) {
+    Message m;
+    m.type = MsgType::kPull;
+    m.dst_node = dst_node;
+    m.orig_node = ctx_->node;
+    m.orig_thread = thread_;
+    m.op_id = op;
+    m.keys = std::move(group_keys);
+    endpoint_->Send(std::move(m));
+  }
+  if (!broadcast_keys.empty()) {
+    for (NodeId n = 0; n < ctx_->layout->num_nodes(); ++n) {
+      if (n == ctx_->node) continue;
+      Message m;
+      m.type = MsgType::kPull;
+      m.dst_node = n;
+      m.orig_node = ctx_->node;
+      m.orig_thread = thread_;
+      m.op_id = op;
+      m.keys = broadcast_keys;
+      endpoint_->Send(std::move(m));
+    }
+  }
+
+  tracker_->CompleteKeys(op, inline_done);
+  return op;
+}
+
+uint64_t Worker::PushAsync(const std::vector<Key>& keys,
+                           const Val* updates) {
+  CheckDistinct(keys);
+  const KeyLayout& layout = *ctx_->layout;
+
+  // Fast path: every key owned locally.
+  if (fast_local_) {
+    bool all_owned = true;
+    for (const Key k : keys) {
+      if (ctx_->StateOf(k) != KeyState::kOwned) {
+        all_owned = false;
+        break;
+      }
+    }
+    if (all_owned) {
+      std::vector<size_t> idx;
+      idx.reserve(keys.size());
+      for (const Key k : keys) idx.push_back(ctx_->latches->IndexOf(k));
+      std::sort(idx.begin(), idx.end());
+      idx.erase(std::unique(idx.begin(), idx.end()), idx.end());
+      std::vector<std::unique_lock<std::mutex>> locks;
+      locks.reserve(idx.size());
+      for (const size_t i : idx) {
+        locks.emplace_back(ctx_->latches->ByIndex(i));
+      }
+      bool still_owned = true;
+      for (const Key k : keys) {
+        if (ctx_->StateOf(k) != KeyState::kOwned) {
+          still_owned = false;
+          break;
+        }
+      }
+      if (still_owned) {
+        size_t off = 0;
+        for (const Key k : keys) {
+          const size_t len = layout.Length(k);
+          Val* slot = ctx_->store->GetOrCreate(k);
+          for (size_t j = 0; j < len; ++j) slot[j] += updates[off + j];
+          off += len;
+        }
+        ctx_->stats.local_key_writes.Add(static_cast<int64_t>(keys.size()));
+        return kImmediate;
+      }
+    }
+  }
+
+  std::vector<std::pair<Key, size_t>> key_offsets;
+  key_offsets.reserve(keys.size());
+  {
+    size_t off = 0;
+    for (const Key k : keys) {
+      key_offsets.emplace_back(k, off);
+      off += layout.Length(k);
+    }
+  }
+  const uint64_t op = tracker_->Create(nullptr, key_offsets, NowNanos());
+
+  size_t inline_done = 0;
+  int64_t local_writes = 0, remote_writes = 0, queued = 0;
+  std::map<NodeId, std::pair<std::vector<Key>, std::vector<Val>>> groups;
+  std::vector<Key> broadcast_keys;
+  std::vector<Val> broadcast_vals;
+
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const Key k = keys[i];
+    const size_t off = key_offsets[i].second;
+    const size_t len = layout.Length(k);
+    bool handled = false;
+    if (fast_local_) {
+      std::lock_guard<std::mutex> latch(ctx_->latches->ForKey(k));
+      const KeyState state = ctx_->StateOf(k);
+      if (state == KeyState::kOwned) {
+        Val* slot = ctx_->store->GetOrCreate(k);
+        for (size_t j = 0; j < len; ++j) slot[j] += updates[off + j];
+        ++inline_done;
+        ++local_writes;
+        handled = true;
+      } else if (state == KeyState::kArriving && dpa_enabled_) {
+        DeferredLocalOp d;
+        d.type = MsgType::kPush;
+        d.key = k;
+        d.push_update.assign(updates + off, updates + off + len);
+        d.worker_thread = thread_;
+        d.op_id = op;
+        ctx_->QueueDeferred(k, std::move(d));
+        ++queued;
+        ++local_writes;
+        handled = true;
+      }
+    }
+    if (handled) continue;
+    ++remote_writes;
+    if (ctx_->config->strategy == LocationStrategy::kBroadcastOps) {
+      broadcast_keys.push_back(k);
+      broadcast_vals.insert(broadcast_vals.end(), updates + off,
+                            updates + off + len);
+    } else {
+      auto& group = groups[RemoteDst(k)];
+      group.first.push_back(k);
+      group.second.insert(group.second.end(), updates + off,
+                          updates + off + len);
+    }
+  }
+
+  ctx_->stats.local_key_writes.Add(local_writes);
+  ctx_->stats.remote_key_writes.Add(remote_writes);
+  ctx_->stats.queued_local_ops.Add(queued);
+
+  for (auto& [dst_node, group] : groups) {
+    Message m;
+    m.type = MsgType::kPush;
+    m.dst_node = dst_node;
+    m.orig_node = ctx_->node;
+    m.orig_thread = thread_;
+    m.op_id = op;
+    m.keys = std::move(group.first);
+    m.vals = std::move(group.second);
+    endpoint_->Send(std::move(m));
+  }
+  if (!broadcast_keys.empty()) {
+    for (NodeId n = 0; n < ctx_->layout->num_nodes(); ++n) {
+      if (n == ctx_->node) continue;
+      Message m;
+      m.type = MsgType::kPush;
+      m.dst_node = n;
+      m.orig_node = ctx_->node;
+      m.orig_thread = thread_;
+      m.op_id = op;
+      m.keys = broadcast_keys;
+      m.vals = broadcast_vals;
+      endpoint_->Send(std::move(m));
+    }
+  }
+
+  tracker_->CompleteKeys(op, inline_done);
+  return op;
+}
+
+uint64_t Worker::LocalizeAsync(const std::vector<Key>& keys) {
+  if (!dpa_enabled_) return kImmediate;
+  CheckDistinct(keys);
+
+  // Fast path: every key already owned here -- localize is a no-op.
+  {
+    bool all_owned = true;
+    for (const Key k : keys) {
+      if (ctx_->StateOf(k) != KeyState::kOwned) {
+        all_owned = false;
+        break;
+      }
+    }
+    if (all_owned) return kImmediate;
+  }
+
+  std::vector<std::pair<Key, size_t>> key_offsets;
+  key_offsets.reserve(keys.size());
+  for (const Key k : keys) key_offsets.emplace_back(k, 0);
+  const uint64_t op = tracker_->Create(nullptr, key_offsets, NowNanos());
+
+  size_t inline_done = 0;
+  std::map<NodeId, std::vector<Key>> groups;
+  const bool broadcast_reloc =
+      ctx_->config->strategy == LocationStrategy::kBroadcastRelocations;
+
+  for (const Key k : keys) {
+    std::lock_guard<std::mutex> latch(ctx_->latches->ForKey(k));
+    const KeyState state = ctx_->StateOf(k);
+    if (state == KeyState::kOwned) {
+      ++inline_done;
+      continue;
+    }
+    if (state == KeyState::kArriving) {
+      // Coalesce onto the pending relocation.
+      NodeContext::ArrivingShard& shard = ctx_->ArrivingShardFor(k);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.map[k].localize_waiters.emplace_back(thread_, op);
+      continue;
+    }
+    // Start a relocation: mark arriving, then ask the home (or, under
+    // broadcast-relocations, the believed owner) for the key.
+    ctx_->SetState(k, KeyState::kArriving);
+    {
+      NodeContext::ArrivingShard& shard = ctx_->ArrivingShardFor(k);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.map.try_emplace(k);
+    }
+    const NodeId dst =
+        broadcast_reloc ? RemoteDst(k) : ctx_->layout->Home(k);
+    groups[dst].push_back(k);
+  }
+
+  for (auto& [dst_node, group_keys] : groups) {
+    if (broadcast_reloc) {
+      // Direct-mail the new location to all uninvolved nodes (Table 3).
+      for (const Key k : group_keys) ctx_->owners->SetOwner(k, ctx_->node);
+      for (NodeId n = 0; n < ctx_->layout->num_nodes(); ++n) {
+        if (n == ctx_->node || n == dst_node) continue;
+        Message u;
+        u.type = MsgType::kLocationUpdate;
+        u.dst_node = n;
+        u.orig_node = ctx_->node;
+        u.orig_thread = thread_;
+        u.keys = group_keys;
+        u.aux.push_back(ctx_->node);
+        endpoint_->Send(std::move(u));
+      }
+    }
+    Message m;
+    m.type = MsgType::kLocalize;
+    m.dst_node = dst_node;
+    m.orig_node = ctx_->node;
+    m.orig_thread = thread_;
+    m.op_id = op;
+    m.requester_node = ctx_->node;
+    m.keys = std::move(group_keys);
+    endpoint_->Send(std::move(m));
+  }
+
+  tracker_->CompleteKeys(op, inline_done);
+  return op;
+}
+
+bool Worker::PullIfLocal(Key k, Val* dst) {
+  if (!fast_local_) return false;
+  if (ctx_->StateOf(k) != KeyState::kOwned) return false;
+  std::lock_guard<std::mutex> latch(ctx_->latches->ForKey(k));
+  if (ctx_->StateOf(k) != KeyState::kOwned) return false;
+  std::memcpy(dst, ctx_->store->GetOrCreate(k),
+              ctx_->layout->Length(k) * sizeof(Val));
+  ctx_->stats.local_key_reads.Add(1);
+  return true;
+}
+
+bool Worker::IsLocal(Key k) const {
+  if (!fast_local_) return false;
+  return ctx_->StateOf(k) == KeyState::kOwned;
+}
+
+}  // namespace ps
+}  // namespace lapse

@@ -1,0 +1,118 @@
+#ifndef LAPSE_PS_WORKER_H_
+#define LAPSE_PS_WORKER_H_
+
+#include <memory>
+#include <vector>
+
+#include "net/network.h"
+#include "ps/node_context.h"
+#include "ps/op_tracker.h"
+#include "util/barrier.h"
+#include "util/rng.h"
+
+namespace lapse {
+namespace ps {
+
+// Per-thread client handle implementing the PS primitives of Table 2:
+//
+//   pull(parameters)            -- read values
+//   push(parameters, updates)   -- cumulative update
+//   localize(parameters)        -- request local allocation (DPA)
+//
+// Every primitive has an asynchronous form returning an operation handle
+// (Wait(handle) blocks until completion; OpTracker::kImmediate means the
+// operation completed inline) and a synchronous convenience wrapper.
+//
+// Contracts:
+//  * Keys within one operation must be distinct.
+//  * For asynchronous pulls, the destination buffer must stay valid until
+//    Wait(). Push update buffers may be reused as soon as the call returns
+//    (updates are copied if they cannot be applied immediately).
+//  * A Worker is owned by exactly one thread.
+//
+// Fast local access (Section 3.3): under kLapse and kClassicFastLocal,
+// owned keys are read/written directly in shared memory under a latch; the
+// server thread is not involved. Under kClassic every access goes through
+// the message path, emulating PS-Lite.
+class Worker {
+ public:
+  static constexpr uint64_t kImmediate = OpTracker::kImmediate;
+
+  Worker(NodeContext* ctx, net::Network* network, ::lapse::Barrier* barrier,
+         int32_t thread_slot, int global_id, uint64_t seed);
+
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  // Waits for all outstanding asynchronous operations.
+  ~Worker();
+
+  // --- asynchronous primitives -----------------------------------------
+  // Reads keys into `dst`, concatenated in key order (layout lengths).
+  uint64_t PullAsync(const std::vector<Key>& keys, Val* dst);
+  // Adds `updates` (concatenated in key order) to the parameters.
+  uint64_t PushAsync(const std::vector<Key>& keys, const Val* updates);
+  // Requests relocation of the keys to this node. No-op outside kLapse.
+  uint64_t LocalizeAsync(const std::vector<Key>& keys);
+
+  void Wait(uint64_t op) { tracker_->Wait(op); }
+  void WaitAll() { tracker_->WaitAll(); }
+  bool IsDone(uint64_t op) { return tracker_->IsDone(op); }
+
+  // --- synchronous wrappers ---------------------------------------------
+  void Pull(const std::vector<Key>& keys, Val* dst) {
+    Wait(PullAsync(keys, dst));
+  }
+  void Push(const std::vector<Key>& keys, const Val* updates) {
+    Wait(PushAsync(keys, updates));
+  }
+  void Localize(const std::vector<Key>& keys) {
+    Wait(LocalizeAsync(keys));
+  }
+
+  // Single-key conveniences.
+  void PullKey(Key k, Val* dst) { Pull({k}, dst); }
+  void PushKey(Key k, const Val* update) { Push({k}, update); }
+  void LocalizeKey(Key k) { Localize({k}); }
+
+  // Reads key k only if it is currently allocated at this node (used by the
+  // word-vectors trainer to sample local-only negatives, Appendix A).
+  // Returns false without blocking if the key is not local.
+  bool PullIfLocal(Key k, Val* dst);
+
+  // True if key k is currently owned by this node (and the architecture
+  // exposes locality).
+  bool IsLocal(Key k) const;
+
+  // Global synchronization barrier across all workers of the system.
+  void Barrier() { barrier_->Wait(); }
+
+  NodeId node() const { return ctx_->node; }
+  int worker_id() const { return global_id_; }
+  int32_t thread_slot() const { return thread_; }
+  const KeyLayout& layout() const { return *ctx_->layout; }
+  const Config& config() const { return *ctx_->config; }
+  Rng& rng() { return rng_; }
+
+ private:
+  // Destination node for a remote op on key k (worker-side routing:
+  // location cache if enabled and filled, else home / owner view).
+  NodeId RemoteDst(Key k) const;
+
+  void CheckDistinct(const std::vector<Key>& keys) const;
+
+  NodeContext* ctx_;
+  ::lapse::Barrier* barrier_;
+  int32_t thread_;
+  int global_id_;
+  std::unique_ptr<net::Endpoint> endpoint_;
+  OpTracker* tracker_;
+  Rng rng_;
+  bool fast_local_;
+  bool dpa_enabled_;
+};
+
+}  // namespace ps
+}  // namespace lapse
+
+#endif  // LAPSE_PS_WORKER_H_

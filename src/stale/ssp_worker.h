@@ -1,0 +1,64 @@
+#ifndef LAPSE_STALE_SSP_WORKER_H_
+#define LAPSE_STALE_SSP_WORKER_H_
+
+#include <memory>
+#include <vector>
+
+#include "net/network.h"
+#include "ps/op_tracker.h"
+#include "stale/ssp_system.h"
+#include "util/barrier.h"
+#include "util/rng.h"
+
+namespace lapse {
+namespace stale {
+
+// Client handle of the bounded-staleness PS (Petuum-like API):
+//
+//   Read(keys, dst)      -- staleness-checked read; blocks (fetching from
+//                           the owner) when the local replica is older than
+//                           clock - staleness.
+//   Update(keys, grads)  -- accumulates updates locally (visible to local
+//                           readers immediately; flushed on Clock()).
+//   Clock()              -- flushes accumulated updates to the owners and
+//                           advances this worker's clock ("advance the
+//                           clock" primitive the paper describes in §2.1).
+//
+// Unlike the classic/Lapse Worker, this API provides only bounded-staleness
+// consistency: reads may return values missing up to `staleness` clocks of
+// other workers' updates (Table 1: no sequential consistency).
+class SspWorker {
+ public:
+  SspWorker(SspSystem* system, SspNode* ctx, Barrier* barrier,
+            int32_t thread_slot, int global_id, uint64_t seed);
+
+  SspWorker(const SspWorker&) = delete;
+  SspWorker& operator=(const SspWorker&) = delete;
+
+  void Read(const std::vector<Key>& keys, Val* dst);
+  void Update(const std::vector<Key>& keys, const Val* updates);
+  void Clock();
+
+  void Barrier() { barrier_->Wait(); }
+
+  int32_t clock() const { return clock_; }
+  NodeId node() const { return ctx_->node; }
+  int worker_id() const { return global_id_; }
+  Rng& rng() { return rng_; }
+
+ private:
+  SspSystem* system_;
+  SspNode* ctx_;
+  ::lapse::Barrier* barrier_;
+  int32_t thread_;
+  int global_id_;
+  std::unique_ptr<net::Endpoint> endpoint_;
+  ps::OpTracker* tracker_;
+  Rng rng_;
+  int32_t clock_ = 0;
+};
+
+}  // namespace stale
+}  // namespace lapse
+
+#endif  // LAPSE_STALE_SSP_WORKER_H_

@@ -1,0 +1,49 @@
+#ifndef LAPSE_UTIL_BARRIER_H_
+#define LAPSE_UTIL_BARRIER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace lapse {
+
+// Reusable thread barrier. All `count` participants must call Wait() before
+// any of them proceeds; the barrier then resets for the next round.
+// (std::barrier exists in C++20 but this keeps us independent of libstdc++
+// version quirks and allows querying the generation.)
+class Barrier {
+ public:
+  explicit Barrier(size_t count) : threshold_(count), count_(count) {}
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  // Blocks until all participants of the current generation arrived.
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    const size_t gen = generation_;
+    if (--count_ == 0) {
+      ++generation_;
+      count_ = threshold_;
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lock, [&] { return gen != generation_; });
+  }
+
+  size_t generation() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return generation_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  const size_t threshold_;
+  size_t count_;
+  size_t generation_ = 0;
+};
+
+}  // namespace lapse
+
+#endif  // LAPSE_UTIL_BARRIER_H_

@@ -1,0 +1,63 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <mutex>
+
+namespace lapse {
+namespace {
+
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+// Serializes emission so concurrent log lines do not interleave.
+std::mutex& EmitMutex() {
+  static std::mutex* m = new std::mutex;
+  return *m;
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel MinLogLevel() { return static_cast<LogLevel>(g_min_level.load()); }
+
+void SetMinLogLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level));
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (level_ >= MinLogLevel() || level_ == LogLevel::kFatal) {
+    std::lock_guard<std::mutex> lock(EmitMutex());
+    std::cerr << stream_.str() << std::endl;
+  }
+  if (level_ == LogLevel::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace internal
+}  // namespace lapse

@@ -1,0 +1,73 @@
+#ifndef LAPSE_UTIL_LOGGING_H_
+#define LAPSE_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace lapse {
+
+// Severity levels for the lightweight logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+// Returns/sets the minimum level that is printed. Messages below the
+// threshold are swallowed. Thread-safe (atomic underneath).
+LogLevel MinLogLevel();
+void SetMinLogLevel(LogLevel level);
+
+namespace internal {
+
+// Accumulates one log line and emits it (with a level prefix) on
+// destruction. kFatal aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Swallows streamed values; used when a log statement is disabled.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+#define LAPSE_LOG(level)                                                     \
+  ::lapse::internal::LogMessage(::lapse::LogLevel::k##level, __FILE__, \
+                                __LINE__)                                    \
+      .stream()
+
+#define LAPSE_CHECK(cond)                                                \
+  if (!(cond))                                                           \
+  ::lapse::internal::LogMessage(::lapse::LogLevel::kFatal, __FILE__,     \
+                                __LINE__)                                \
+          .stream()                                                      \
+      << "Check failed: " #cond " "
+
+#define LAPSE_CHECK_OP(a, b, op)                                         \
+  LAPSE_CHECK((a)op(b)) << "(" << (a) << " vs " << (b) << ") "
+
+#define LAPSE_CHECK_EQ(a, b) LAPSE_CHECK_OP(a, b, ==)
+#define LAPSE_CHECK_NE(a, b) LAPSE_CHECK_OP(a, b, !=)
+#define LAPSE_CHECK_LT(a, b) LAPSE_CHECK_OP(a, b, <)
+#define LAPSE_CHECK_LE(a, b) LAPSE_CHECK_OP(a, b, <=)
+#define LAPSE_CHECK_GT(a, b) LAPSE_CHECK_OP(a, b, >)
+#define LAPSE_CHECK_GE(a, b) LAPSE_CHECK_OP(a, b, >=)
+
+}  // namespace lapse
+
+#endif  // LAPSE_UTIL_LOGGING_H_

@@ -1,0 +1,44 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace lapse {
+namespace {
+
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+Summary Summarize(std::vector<double> values) {
+  Summary s;
+  s.n = values.size();
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.min = values.front();
+  s.max = values.back();
+  double sum = 0;
+  for (double v : values) sum += v;
+  s.mean = sum / static_cast<double>(values.size());
+  s.p50 = Percentile(values, 0.50);
+  s.p95 = Percentile(values, 0.95);
+  s.p99 = Percentile(values, 0.99);
+  return s;
+}
+
+std::string ToString(const Summary& s) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu min=%.3g mean=%.3g p50=%.3g p95=%.3g p99=%.3g max=%.3g",
+                s.n, s.min, s.mean, s.p50, s.p95, s.p99, s.max);
+  return buf;
+}
+
+}  // namespace lapse

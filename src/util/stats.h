@@ -1,0 +1,53 @@
+#ifndef LAPSE_UTIL_STATS_H_
+#define LAPSE_UTIL_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lapse {
+
+// Lock-free accumulating counter (count + sum), safe for concurrent Add().
+// Snapshot reads are not atomic across the two fields, which is fine for
+// monitoring use.
+class Counter {
+ public:
+  void Add(int64_t value = 1) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  void Reset() {
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  double Mean() const {
+    const int64_t c = count();
+    return c == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(c);
+  }
+
+ private:
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+};
+
+// Summary statistics over a sample of doubles (single-threaded builder).
+struct Summary {
+  size_t n = 0;
+  double min = 0, max = 0, mean = 0, p50 = 0, p95 = 0, p99 = 0;
+};
+
+// Computes a Summary. `values` is copied and sorted internally.
+Summary Summarize(std::vector<double> values);
+
+// Formats a Summary on one line for logs.
+std::string ToString(const Summary& s);
+
+}  // namespace lapse
+
+#endif  // LAPSE_UTIL_STATS_H_

@@ -1,0 +1,55 @@
+#include "util/table_printer.h"
+
+#include <cstdio>
+#include <ostream>
+
+namespace lapse {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::Int(int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  return buf;
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (row[i].size() > widths[i]) widths[i] = row[i].size();
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (size_t i = 0; i < row.size(); ++i) {
+      os << " " << row[i];
+      for (size_t p = row[i].size(); p < widths[i]; ++p) os << ' ';
+      os << " |";
+    }
+    os << "\n";
+  };
+  print_row(header_);
+  os << "|";
+  for (size_t w : widths) {
+    for (size_t p = 0; p < w + 2; ++p) os << '-';
+    os << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace lapse

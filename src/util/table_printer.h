@@ -1,0 +1,36 @@
+#ifndef LAPSE_UTIL_TABLE_PRINTER_H_
+#define LAPSE_UTIL_TABLE_PRINTER_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lapse {
+
+// Collects rows of string cells and prints them as an aligned ASCII table.
+// Used by the benchmark harnesses to emit the paper's tables/figure series.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  // Appends a row; pads/truncates to the header width.
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 2);
+  static std::string Int(int64_t v);
+
+  // Writes the aligned table (header, rule, rows) to `os`.
+  void Print(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lapse
+
+#endif  // LAPSE_UTIL_TABLE_PRINTER_H_

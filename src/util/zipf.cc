@@ -1,0 +1,77 @@
+#include "util/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "util/logging.h"
+
+namespace lapse {
+
+ZipfSampler::ZipfSampler(uint64_t n, double s) : n_(n), s_(s) {
+  LAPSE_CHECK_GT(n, 0u);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (uint64_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = acc;
+  }
+  const double total = acc;
+  for (auto& c : cdf_) c /= total;
+}
+
+uint64_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return n_ - 1;
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Pmf(uint64_t k) const {
+  LAPSE_CHECK_LT(k, n_);
+  const double hi = cdf_[k];
+  const double lo = (k == 0) ? 0.0 : cdf_[k - 1];
+  return hi - lo;
+}
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  LAPSE_CHECK(!weights.empty());
+  const size_t n = weights.size();
+  double sum = 0.0;
+  for (double w : weights) {
+    LAPSE_CHECK_GE(w, 0.0);
+    sum += w;
+  }
+  LAPSE_CHECK_GT(sum, 0.0);
+
+  prob_.resize(n);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) scaled[i] = weights[i] * n / sum;
+
+  std::deque<uint32_t> small, large;
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.front();
+    small.pop_front();
+    const uint32_t l = large.front();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_front();
+      small.push_back(l);
+    }
+  }
+  for (uint32_t i : large) prob_[i] = 1.0;
+  for (uint32_t i : small) prob_[i] = 1.0;  // numerical leftovers
+}
+
+uint64_t AliasTable::Sample(Rng& rng) const {
+  const uint64_t i = rng.Uniform(prob_.size());
+  return rng.NextDouble() < prob_[i] ? i : alias_[i];
+}
+
+}  // namespace lapse

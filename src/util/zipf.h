@@ -1,0 +1,53 @@
+#ifndef LAPSE_UTIL_ZIPF_H_
+#define LAPSE_UTIL_ZIPF_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace lapse {
+
+// Samples from a Zipf distribution over {0, ..., n-1} with exponent `s`
+// (P(k) proportional to 1/(k+1)^s) using precomputed CDF + binary search.
+// Deterministic given the Rng stream. Used to generate skewed workloads
+// (word frequencies, KG entity degrees).
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double s);
+
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double exponent() const { return s_; }
+
+  // Probability mass of item k.
+  double Pmf(uint64_t k) const;
+
+ private:
+  uint64_t n_;
+  double s_;
+  std::vector<double> cdf_;
+};
+
+// Walker alias method for O(1) sampling from an arbitrary discrete
+// distribution. Used for unigram^0.75 negative sampling in word2vec/KGE.
+class AliasTable {
+ public:
+  // `weights` need not be normalized; must be non-empty with all
+  // entries >= 0 and a positive sum.
+  explicit AliasTable(const std::vector<double>& weights);
+
+  uint64_t Sample(Rng& rng) const;
+
+  size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+};
+
+}  // namespace lapse
+
+#endif  // LAPSE_UTIL_ZIPF_H_

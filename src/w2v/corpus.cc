@@ -1,0 +1,42 @@
+#include "w2v/corpus.h"
+
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace lapse {
+namespace w2v {
+
+Corpus GenerateCorpus(const CorpusGenConfig& config) {
+  LAPSE_CHECK_GT(config.vocab_size, 0u);
+  LAPSE_CHECK_GE(
+      static_cast<uint64_t>(config.num_sentences) * config.sentence_length,
+      static_cast<uint64_t>(config.vocab_size));
+
+  Rng rng(config.seed);
+  ZipfSampler dist(config.vocab_size, config.zipf_s);
+
+  Corpus corpus;
+  corpus.vocab_size = config.vocab_size;
+  corpus.counts.assign(config.vocab_size, 0);
+  corpus.sentences.resize(config.num_sentences);
+
+  uint32_t forced_word = 0;  // guarantees full vocabulary coverage
+  for (auto& sentence : corpus.sentences) {
+    sentence.reserve(config.sentence_length);
+    for (uint32_t i = 0; i < config.sentence_length; ++i) {
+      uint32_t word;
+      if (forced_word < config.vocab_size) {
+        word = forced_word++;
+      } else {
+        word = static_cast<uint32_t>(dist.Sample(rng));
+      }
+      sentence.push_back(word);
+      ++corpus.counts[word];
+    }
+  }
+  return corpus;
+}
+
+}  // namespace w2v
+}  // namespace lapse

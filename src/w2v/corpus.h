@@ -1,0 +1,40 @@
+#ifndef LAPSE_W2V_CORPUS_H_
+#define LAPSE_W2V_CORPUS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace lapse {
+namespace w2v {
+
+// Tokenized text corpus with word counts. Stands in for the One Billion
+// Word Benchmark: word frequencies follow a Zipf law, which is exactly the
+// skew that causes the localization conflicts the paper reports for the
+// word-vectors task (Section 4.3).
+struct Corpus {
+  uint32_t vocab_size = 0;
+  std::vector<int64_t> counts;                   // per word id
+  std::vector<std::vector<uint32_t>> sentences;  // token streams
+
+  int64_t total_tokens() const {
+    int64_t n = 0;
+    for (const auto& s : sentences) n += static_cast<int64_t>(s.size());
+    return n;
+  }
+};
+
+struct CorpusGenConfig {
+  uint32_t vocab_size = 10000;
+  uint32_t num_sentences = 2000;
+  uint32_t sentence_length = 20;
+  double zipf_s = 1.0;  // word-frequency skew
+  uint64_t seed = 1;
+};
+
+// Deterministic Zipf-distributed corpus; every word occurs at least once.
+Corpus GenerateCorpus(const CorpusGenConfig& config);
+
+}  // namespace w2v
+}  // namespace lapse
+
+#endif  // LAPSE_W2V_CORPUS_H_

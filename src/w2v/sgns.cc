@@ -1,0 +1,21 @@
+#include "w2v/sgns.h"
+
+#include "ml/loss.h"
+
+namespace lapse {
+namespace w2v {
+
+float SgnsPairStep(const Val* center, const Val* context, size_t dim,
+                   float label, float lr, Val* center_delta,
+                   Val* context_delta) {
+  const float score = ml::Dot(center, context, dim);
+  const float g = ml::LogisticLossGrad(score, label);
+  for (size_t i = 0; i < dim; ++i) {
+    center_delta[i] = -lr * g * context[i];
+    context_delta[i] = -lr * g * center[i];
+  }
+  return ml::LogisticLoss(score, label);
+}
+
+}  // namespace w2v
+}  // namespace lapse

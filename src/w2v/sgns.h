@@ -1,0 +1,23 @@
+#ifndef LAPSE_W2V_SGNS_H_
+#define LAPSE_W2V_SGNS_H_
+
+#include <cstddef>
+
+#include "net/message.h"
+
+namespace lapse {
+namespace w2v {
+
+// One skip-gram-with-negative-sampling step (Mikolov et al. [35]).
+// Computes the gradient updates for a (center, context) pair plus one
+// negative context, writing *deltas* suitable for cumulative PS pushes.
+//
+// Returns the logistic loss of the pair.
+float SgnsPairStep(const Val* center, const Val* context, size_t dim,
+                   float label, float lr, Val* center_delta,
+                   Val* context_delta);
+
+}  // namespace w2v
+}  // namespace lapse
+
+#endif  // LAPSE_W2V_SGNS_H_

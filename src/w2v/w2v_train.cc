@@ -1,0 +1,282 @@
+#include "w2v/w2v_train.h"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+
+#include "ml/loss.h"
+#include "ml/sampler.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/timer.h"
+#include "w2v/sgns.h"
+
+namespace lapse {
+namespace w2v {
+namespace {
+
+std::vector<Val> InitialW2vValue(Key key, size_t dim, uint64_t seed,
+                                 bool input_side) {
+  Rng rng(Mix64(seed ^ (key * 0xd1342543de82ef95ULL + 3)));
+  std::vector<Val> v(dim, 0.0f);
+  if (input_side) {
+    // word2vec convention: random input embeddings, zero output embeddings.
+    for (auto& x : v) {
+      x = (static_cast<float>(rng.NextDouble()) - 0.5f) /
+          static_cast<float>(dim);
+    }
+  }
+  return v;
+}
+
+}  // namespace
+
+ps::Config MakeW2vPsConfig(const Corpus& corpus, const W2vConfig& config,
+                           int num_nodes, int workers_per_node,
+                           const net::LatencyConfig& latency) {
+  ps::Config cfg;
+  cfg.num_nodes = num_nodes;
+  cfg.workers_per_node = workers_per_node;
+  cfg.num_keys = 2ULL * corpus.vocab_size;
+  cfg.uniform_value_length = config.dim;
+  cfg.latency = latency;
+  cfg.seed = config.seed;
+  return cfg;
+}
+
+void InitW2vParams(ps::PsSystem& system, const Corpus& corpus,
+                   const W2vConfig& config) {
+  for (uint32_t w = 0; w < corpus.vocab_size; ++w) {
+    auto in = InitialW2vValue(InputKey(w), config.dim, config.seed, true);
+    system.SetValue(InputKey(w), in.data());
+    auto out = InitialW2vValue(OutputKey(corpus.vocab_size, w), config.dim,
+                               config.seed, false);
+    system.SetValue(OutputKey(corpus.vocab_size, w), out.data());
+  }
+}
+
+std::vector<W2vEpochResult> TrainW2v(ps::PsSystem& system,
+                                     const Corpus& corpus,
+                                     const W2vConfig& config) {
+  const int total_workers = system.config().total_workers();
+  const size_t dim = config.dim;
+  const uint32_t vocab = corpus.vocab_size;
+  const int64_t total_tokens = corpus.total_tokens();
+
+  ml::NegativeSampler neg_sampler(corpus.counts, 0.75);
+
+  std::mutex acc_mu;
+  std::vector<W2vEpochResult> results(config.epochs);
+  std::vector<double> loss_sum(config.epochs, 0.0);
+  std::vector<int64_t> loss_n(config.epochs, 0);
+
+  system.Run([&](ps::Worker& w) {
+    const int wid = w.worker_id();
+    Rng& rng = w.rng();
+
+    // Pre-sampled negative batch (Appendix A): sample presample_size
+    // negatives at once, pre-localize them, refresh near exhaustion.
+    std::vector<uint32_t> negatives;
+    size_t neg_pos = 0;
+    auto refresh_negatives = [&] {
+      negatives.clear();
+      for (int i = 0; i < config.presample_size; ++i) {
+        negatives.push_back(static_cast<uint32_t>(neg_sampler.Sample(rng)));
+      }
+      neg_pos = 0;
+      if (config.latency_hiding) {
+        std::vector<Key> keys;
+        keys.reserve(negatives.size());
+        for (const uint32_t n : negatives) keys.push_back(OutputKey(vocab, n));
+        std::sort(keys.begin(), keys.end());
+        keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+        w.LocalizeAsync(keys);
+      }
+    };
+    refresh_negatives();
+
+    std::vector<Val> center(dim), context(dim);
+    std::vector<Val> center_delta(dim), context_delta(dim);
+    std::vector<uint32_t> tokens;
+    Timer epoch_timer;
+
+    for (int epoch = 0; epoch < config.epochs; ++epoch) {
+      epoch_timer.Restart();
+      double loss = 0;
+      int64_t n = 0;
+
+      for (size_t si = static_cast<size_t>(wid);
+           si < corpus.sentences.size();
+           si += static_cast<size_t>(total_workers)) {
+        const auto& sentence = corpus.sentences[si];
+
+        // Frequent-word subsampling (keeps the training signal balanced).
+        tokens.clear();
+        for (const uint32_t t : sentence) {
+          const double f = static_cast<double>(corpus.counts[t]) /
+                           static_cast<double>(total_tokens);
+          const double keep =
+              std::min(1.0, std::sqrt(config.subsample / f) +
+                                config.subsample / f);
+          if (rng.NextDouble() < keep) tokens.push_back(t);
+        }
+        if (tokens.size() < 2) continue;
+
+        // Latency hiding: pre-localize all parameters of this sentence.
+        if (config.latency_hiding) {
+          std::vector<Key> keys;
+          keys.reserve(2 * tokens.size());
+          for (const uint32_t t : tokens) {
+            keys.push_back(InputKey(t));
+            keys.push_back(OutputKey(vocab, t));
+          }
+          std::sort(keys.begin(), keys.end());
+          keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+          w.LocalizeAsync(keys);
+        }
+
+        for (size_t c = 0; c < tokens.size(); ++c) {
+          const uint32_t center_word = tokens[c];
+          const int reach = 1 + static_cast<int>(rng.Uniform(config.window));
+          const size_t lo = c >= static_cast<size_t>(reach)
+                                ? c - static_cast<size_t>(reach)
+                                : 0;
+          const size_t hi =
+              std::min(tokens.size() - 1, c + static_cast<size_t>(reach));
+          for (size_t x = lo; x <= hi; ++x) {
+            if (x == c) continue;
+            const uint32_t context_word = tokens[x];
+
+            // Positive pair.
+            w.PullKey(InputKey(center_word), center.data());
+            w.PullKey(OutputKey(vocab, context_word), context.data());
+            loss += SgnsPairStep(center.data(), context.data(), dim, +1.0f,
+                                 config.lr, center_delta.data(),
+                                 context_delta.data());
+            ++n;
+            w.PushKey(InputKey(center_word), center_delta.data());
+            w.PushKey(OutputKey(vocab, context_word), context_delta.data());
+
+            // Negatives from the pre-sampled batch.
+            for (int neg = 0; neg < config.negatives; ++neg) {
+              if (neg_pos >=
+                  static_cast<size_t>(config.presample_refresh)) {
+                refresh_negatives();
+              }
+              uint32_t neg_word = negatives[neg_pos++];
+              bool have = false;
+              if (config.local_only_negatives && config.latency_hiding) {
+                // Use only negatives whose parameter is currently local;
+                // skip conflicted ones (changes the sampling distribution,
+                // as the paper notes).
+                int attempts = 0;
+                while (attempts < 8) {
+                  if (neg_word != center_word &&
+                      w.PullIfLocal(OutputKey(vocab, neg_word),
+                                    context.data())) {
+                    have = true;
+                    break;
+                  }
+                  if (neg_pos >=
+                      static_cast<size_t>(config.presample_refresh)) {
+                    refresh_negatives();
+                  }
+                  neg_word = negatives[neg_pos++];
+                  ++attempts;
+                }
+                if (!have) continue;
+              } else {
+                if (neg_word == center_word) continue;
+                w.PullKey(OutputKey(vocab, neg_word), context.data());
+                have = true;
+              }
+              w.PullKey(InputKey(center_word), center.data());
+              loss += SgnsPairStep(center.data(), context.data(), dim,
+                                   -1.0f, config.lr, center_delta.data(),
+                                   context_delta.data());
+              ++n;
+              w.PushKey(InputKey(center_word), center_delta.data());
+              w.PushKey(OutputKey(vocab, neg_word), context_delta.data());
+            }
+          }
+        }
+      }
+
+      {
+        std::lock_guard<std::mutex> lock(acc_mu);
+        loss_sum[epoch] += loss;
+        loss_n[epoch] += n;
+      }
+      w.Barrier();
+      if (wid == 0) {
+        std::lock_guard<std::mutex> lock(acc_mu);
+        results[epoch].seconds = epoch_timer.ElapsedSeconds();
+      }
+      w.Barrier();
+    }
+  });
+
+  for (int e = 0; e < config.epochs; ++e) {
+    results[e].loss = loss_n[e] == 0
+                          ? 0.0
+                          : loss_sum[e] / static_cast<double>(loss_n[e]);
+  }
+  return results;
+}
+
+double W2vEvalLoss(ps::PsSystem& system, const Corpus& corpus,
+                   const W2vConfig& config, size_t sample_pairs) {
+  // Mirrors the training distribution: positive pairs are within-window
+  // co-occurrences, negatives follow the unigram^0.75 distribution (like
+  // training), so improvement on this metric tracks what SGNS optimizes.
+  Rng rng(Mix64(config.seed ^ 0x5eedULL));
+  ml::NegativeSampler neg_sampler(corpus.counts, 0.75);
+  const size_t dim = config.dim;
+  const int64_t total_tokens = corpus.total_tokens();
+  std::vector<Val> center(dim), context(dim);
+  std::vector<uint32_t> tokens;
+  double loss = 0;
+  int64_t n = 0;
+  for (size_t i = 0; i < sample_pairs; ++i) {
+    const auto& sentence =
+        corpus.sentences[rng.Uniform(corpus.sentences.size())];
+    // Apply the training-time frequent-word subsampling so the evaluated
+    // pair distribution matches what SGNS optimizes.
+    tokens.clear();
+    for (const uint32_t t : sentence) {
+      const double f = static_cast<double>(corpus.counts[t]) /
+                       static_cast<double>(total_tokens);
+      const double keep = std::min(
+          1.0, std::sqrt(config.subsample / f) + config.subsample / f);
+      if (rng.NextDouble() < keep) tokens.push_back(t);
+    }
+    if (tokens.size() < 2) continue;
+    const size_t c = rng.Uniform(tokens.size());
+    const size_t reach = 1 + rng.Uniform(config.window);
+    const size_t lo = c >= reach ? c - reach : 0;
+    const size_t hi = std::min(tokens.size() - 1, c + reach);
+    size_t x = lo + rng.Uniform(hi - lo + 1);
+    if (x == c) x = (x == hi) ? (c > lo ? c - 1 : c + 1) : x + 1;
+    if (x >= tokens.size() || x == c) continue;
+    system.GetValue(InputKey(tokens[c]), center.data());
+    system.GetValue(OutputKey(corpus.vocab_size, tokens[x]),
+                    context.data());
+    loss += ml::LogisticLoss(ml::Dot(center.data(), context.data(), dim),
+                             +1.0f);
+    ++n;
+    // Same positive:negative ratio as training (1 : config.negatives); a
+    // different ratio would shift the SGNS optimum and make the metric
+    // non-monotone in training progress.
+    for (int j = 0; j < config.negatives; ++j) {
+      const uint32_t neg = static_cast<uint32_t>(neg_sampler.Sample(rng));
+      system.GetValue(OutputKey(corpus.vocab_size, neg), context.data());
+      loss += ml::LogisticLoss(ml::Dot(center.data(), context.data(), dim),
+                               -1.0f);
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : loss / static_cast<double>(n);
+}
+
+}  // namespace w2v
+}  // namespace lapse

@@ -1,0 +1,67 @@
+#ifndef LAPSE_W2V_W2V_TRAIN_H_
+#define LAPSE_W2V_W2V_TRAIN_H_
+
+#include <vector>
+
+#include "ps/system.h"
+#include "w2v/corpus.h"
+
+namespace lapse {
+namespace w2v {
+
+// Skip-gram word2vec with negative sampling (the paper's word-vectors
+// task, Appendix A). PAL technique: latency hiding for *all* parameters --
+// pre-localize the words of a sentence when it is read, pre-sample a batch
+// of negative samples and pre-localize them, and optionally use only
+// negatives that are currently local (which changes the negative-sampling
+// distribution, as the paper notes).
+struct W2vConfig {
+  size_t dim = 32;         // paper: 1000
+  int window = 5;          // paper: 5
+  int negatives = 3;       // paper: 25
+  float lr = 0.025f;
+  double subsample = 1e-3;  // frequent-word subsampling threshold
+  int epochs = 1;
+  bool latency_hiding = true;
+  // Pre-sampled negative batch (paper: 4000, refresh at 3900).
+  int presample_size = 400;
+  int presample_refresh = 380;
+  // Skip non-local negatives (requires latency_hiding; paper Appendix A).
+  bool local_only_negatives = true;
+  uint64_t seed = 5;
+};
+
+// Key space: input embedding of word w -> key w; output embedding ->
+// key vocab + w. Value length = dim (plain SGD, no optimizer state).
+inline Key InputKey(uint32_t word) { return word; }
+inline Key OutputKey(uint32_t vocab, uint32_t word) {
+  return static_cast<Key>(vocab) + word;
+}
+
+ps::Config MakeW2vPsConfig(const Corpus& corpus, const W2vConfig& config,
+                           int num_nodes, int workers_per_node,
+                           const net::LatencyConfig& latency);
+
+void InitW2vParams(ps::PsSystem& system, const Corpus& corpus,
+                   const W2vConfig& config);
+
+struct W2vEpochResult {
+  double seconds = 0;
+  double loss = 0;       // mean training logistic loss
+  double eval_loss = 0;  // held-out proxy error, filled by caller if wanted
+};
+
+std::vector<W2vEpochResult> TrainW2v(ps::PsSystem& system,
+                                     const Corpus& corpus,
+                                     const W2vConfig& config);
+
+// Proxy error metric (stands in for the paper's analogy error): mean
+// logistic loss over a deterministic sample of held-out (center, context)
+// pairs and random negatives. Lower is better. PS must be quiesced.
+double W2vEvalLoss(ps::PsSystem& system, const Corpus& corpus,
+                   const W2vConfig& config, size_t sample_pairs);
+
+}  // namespace w2v
+}  // namespace lapse
+
+#endif  // LAPSE_W2V_W2V_TRAIN_H_

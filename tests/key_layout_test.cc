@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "ps/key_layout.h"
+
+namespace lapse {
+namespace ps {
+namespace {
+
+TEST(KeyLayoutTest, UniformLengths) {
+  KeyLayout layout(10, 4, 2);
+  EXPECT_EQ(layout.num_keys(), 10u);
+  for (Key k = 0; k < 10; ++k) {
+    EXPECT_EQ(layout.Length(k), 4u);
+    EXPECT_EQ(layout.Offset(k), k * 4);
+  }
+  EXPECT_EQ(layout.TotalVals(), 40u);
+}
+
+TEST(KeyLayoutTest, PerKeyLengths) {
+  KeyLayout layout(std::vector<size_t>{1, 3, 2}, 1);
+  EXPECT_EQ(layout.num_keys(), 3u);
+  EXPECT_EQ(layout.Length(0), 1u);
+  EXPECT_EQ(layout.Length(1), 3u);
+  EXPECT_EQ(layout.Length(2), 2u);
+  EXPECT_EQ(layout.Offset(0), 0u);
+  EXPECT_EQ(layout.Offset(1), 1u);
+  EXPECT_EQ(layout.Offset(2), 4u);
+  EXPECT_EQ(layout.TotalVals(), 6u);
+}
+
+TEST(KeyLayoutTest, HomeIsRangePartition) {
+  KeyLayout layout(100, 1, 4);
+  for (Key k = 0; k < 100; ++k) {
+    const NodeId h = layout.Home(k);
+    EXPECT_GE(h, 0);
+    EXPECT_LT(h, 4);
+    EXPECT_GE(k, layout.HomeBegin(h));
+    EXPECT_LT(k, layout.HomeEnd(h));
+  }
+  // Homes are monotone in k for range partitioning.
+  for (Key k = 1; k < 100; ++k) {
+    EXPECT_GE(layout.Home(k), layout.Home(k - 1));
+  }
+}
+
+TEST(KeyLayoutTest, HomeRangesCoverKeySpace) {
+  KeyLayout layout(97, 2, 8);  // non-divisible
+  uint64_t covered = 0;
+  for (NodeId n = 0; n < 8; ++n) {
+    EXPECT_EQ(layout.HomeBegin(n), covered);
+    covered = layout.HomeEnd(n);
+  }
+  EXPECT_EQ(covered, 97u);
+}
+
+TEST(KeyLayoutTest, HomeBalanced) {
+  KeyLayout layout(1000, 1, 7);
+  for (NodeId n = 0; n < 7; ++n) {
+    const uint64_t size = layout.HomeEnd(n) - layout.HomeBegin(n);
+    EXPECT_GE(size, 1000u / 7);
+    EXPECT_LE(size, 1000u / 7 + 1);
+  }
+}
+
+TEST(KeyLayoutTest, SingleNodeOwnsEverything) {
+  KeyLayout layout(50, 3, 1);
+  for (Key k = 0; k < 50; ++k) EXPECT_EQ(layout.Home(k), 0);
+}
+
+}  // namespace
+}  // namespace ps
+}  // namespace lapse

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ml/adagrad.h"
+#include "ml/loss.h"
+#include "ml/sampler.h"
+#include "util/rng.h"
+
+namespace lapse {
+namespace ml {
+namespace {
+
+TEST(SigmoidTest, KnownValues) {
+  EXPECT_NEAR(Sigmoid(0.0f), 0.5f, 1e-6);
+  EXPECT_NEAR(Sigmoid(100.0f), 1.0f, 1e-6);
+  EXPECT_NEAR(Sigmoid(-100.0f), 0.0f, 1e-6);
+  EXPECT_NEAR(Sigmoid(1.0f) + Sigmoid(-1.0f), 1.0f, 1e-6);
+}
+
+TEST(LogisticLossTest, CorrectAndStable) {
+  EXPECT_NEAR(LogisticLoss(0.0f, 1.0f), std::log(2.0f), 1e-5);
+  EXPECT_NEAR(LogisticLoss(100.0f, 1.0f), 0.0f, 1e-5);
+  EXPECT_NEAR(LogisticLoss(-100.0f, 1.0f), 100.0f, 1e-3);
+  EXPECT_NEAR(LogisticLoss(50.0f, -1.0f), 50.0f, 1e-3);
+  EXPECT_TRUE(std::isfinite(LogisticLoss(1000.0f, -1.0f)));
+}
+
+TEST(LogisticLossTest, GradientMatchesFiniteDifference) {
+  const float eps = 1e-3f;
+  for (const float s : {-2.0f, -0.5f, 0.0f, 0.7f, 3.0f}) {
+    for (const float y : {1.0f, -1.0f}) {
+      const float num =
+          (LogisticLoss(s + eps, y) - LogisticLoss(s - eps, y)) / (2 * eps);
+      EXPECT_NEAR(LogisticLossGrad(s, y), num, 1e-3);
+    }
+  }
+}
+
+TEST(DotTest, Basic) {
+  const Val a[3] = {1, 2, 3};
+  const Val b[3] = {4, 5, 6};
+  EXPECT_EQ(Dot(a, b, 3), 32.0f);
+  EXPECT_EQ(SquaredNorm(a, 3), 14.0f);
+}
+
+TEST(AdagradTest, FirstStepScalesByOwnGradient) {
+  // With zero accumulator, the step is approximately -lr * sign(g).
+  std::vector<Val> value(4, 0.0f);  // [emb(2) | acc(2)]
+  const Val grad[2] = {2.0f, -0.5f};
+  Val delta[4];
+  AdagradDelta(value.data(), grad, 2, 0.1f, delta);
+  EXPECT_NEAR(delta[0], -0.1f, 1e-3);
+  EXPECT_NEAR(delta[1], 0.1f, 1e-3);
+  EXPECT_EQ(delta[2], 4.0f);   // acc delta = g^2
+  EXPECT_EQ(delta[3], 0.25f);
+}
+
+TEST(AdagradTest, AccumulatorShrinksSteps) {
+  std::vector<Val> value = {0.0f, 100.0f};  // emb, large acc
+  const Val grad[1] = {1.0f};
+  Val delta[2];
+  AdagradDelta(value.data(), grad, 1, 0.1f, delta);
+  EXPECT_LT(std::abs(delta[0]), 0.011f);  // ~ -0.1/sqrt(101)
+}
+
+TEST(SgdTest, Delta) {
+  const Val grad[2] = {3.0f, -1.0f};
+  Val delta[2];
+  SgdDelta(grad, 2, 0.5f, delta);
+  EXPECT_EQ(delta[0], -1.5f);
+  EXPECT_EQ(delta[1], 0.5f);
+}
+
+TEST(NegativeSamplerTest, UniformInRange) {
+  NegativeSampler s(100);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(s.Sample(rng), 100u);
+}
+
+TEST(NegativeSamplerTest, WeightedFavorsFrequent) {
+  std::vector<int64_t> counts = {1000, 1, 1, 1};
+  NegativeSampler s(counts, 0.75);
+  Rng rng(2);
+  int zero = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (s.Sample(rng) == 0) ++zero;
+  }
+  EXPECT_GT(zero, 800);
+}
+
+TEST(NegativeSamplerTest, ExcludesPositive) {
+  NegativeSampler s(3);
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) EXPECT_NE(s.SampleExcluding(1, rng), 1u);
+}
+
+TEST(NegativeSamplerTest, PowerDampensSkew) {
+  std::vector<int64_t> counts = {10000, 100};
+  NegativeSampler raw(counts, 1.0);
+  NegativeSampler damped(counts, 0.5);
+  Rng r1(4), r2(4);
+  int raw1 = 0, damped1 = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (raw.Sample(r1) == 1) ++raw1;
+    if (damped.Sample(r2) == 1) ++damped1;
+  }
+  EXPECT_GT(damped1, raw1);  // damping gives rare words more mass
+}
+
+}  // namespace
+}  // namespace ml
+}  // namespace lapse

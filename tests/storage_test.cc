@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "ps/key_layout.h"
+#include "ps/latch_table.h"
+#include "ps/storage.h"
+
+namespace lapse {
+namespace ps {
+namespace {
+
+class StorageTest : public ::testing::TestWithParam<StorageKind> {
+ protected:
+  StorageTest() : layout_(16, 4, 2), store_(CreateStorage(GetParam(), &layout_)) {}
+
+  KeyLayout layout_;
+  std::unique_ptr<Storage> store_;
+};
+
+TEST_P(StorageTest, GetOrCreateZeroInitializes) {
+  Val* v = store_->GetOrCreate(3);
+  ASSERT_NE(v, nullptr);
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(v[i], 0.0f);
+}
+
+TEST_P(StorageTest, PutThenGetRoundTrips) {
+  const Val data[4] = {1, 2, 3, 4};
+  store_->Put(5, data);
+  Val* v = store_->Get(5);
+  ASSERT_NE(v, nullptr);
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(v[i], data[i]);
+}
+
+TEST_P(StorageTest, EraseResetsValue) {
+  const Val data[4] = {1, 2, 3, 4};
+  store_->Put(7, data);
+  store_->Erase(7);
+  Val* v = store_->GetOrCreate(7);
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(v[i], 0.0f);
+}
+
+TEST_P(StorageTest, IndependentKeys) {
+  const Val a[4] = {1, 1, 1, 1};
+  const Val b[4] = {2, 2, 2, 2};
+  store_->Put(0, a);
+  store_->Put(15, b);
+  EXPECT_EQ(store_->Get(0)[0], 1.0f);
+  EXPECT_EQ(store_->Get(15)[0], 2.0f);
+}
+
+TEST_P(StorageTest, MemoryBytesNonZeroAfterWrites) {
+  const Val a[4] = {1, 1, 1, 1};
+  store_->Put(1, a);
+  EXPECT_GT(store_->MemoryBytes(), 0u);
+}
+
+TEST_P(StorageTest, ConcurrentDisjointKeyAccess) {
+  // Different keys may be touched concurrently (the engine guards value
+  // content with latches; structure safety is the store's job).
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([this, t] {
+      const Key k = static_cast<Key>(t * 2);
+      for (int i = 0; i < 2000; ++i) {
+        Val* v = store_->GetOrCreate(k);
+        v[0] += 1.0f;
+        if (i % 100 == 99) {
+          store_->Erase(k);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, StorageTest,
+                         ::testing::Values(StorageKind::kDense,
+                                           StorageKind::kSparse),
+                         [](const auto& info) {
+                           return StorageKindName(info.param);
+                         });
+
+TEST(SparseStorageTest, GetMissingReturnsNull) {
+  KeyLayout layout(8, 2, 1);
+  SparseStorage store(&layout);
+  EXPECT_EQ(store.Get(3), nullptr);
+}
+
+TEST(DenseStorageTest, GetAlwaysReturnsSlot) {
+  KeyLayout layout(8, 2, 1);
+  DenseStorage store(&layout);
+  EXPECT_NE(store.Get(3), nullptr);
+}
+
+TEST(DenseStorageTest, PerKeyLengthOffsets) {
+  KeyLayout layout(std::vector<size_t>{2, 5, 1}, 1);
+  DenseStorage store(&layout);
+  const Val a[2] = {1, 2};
+  const Val b[5] = {3, 4, 5, 6, 7};
+  const Val c[1] = {8};
+  store.Put(0, a);
+  store.Put(1, b);
+  store.Put(2, c);
+  EXPECT_EQ(store.Get(0)[1], 2.0f);
+  EXPECT_EQ(store.Get(1)[4], 7.0f);
+  EXPECT_EQ(store.Get(2)[0], 8.0f);
+}
+
+TEST(LatchTableTest, SameKeySameLatch) {
+  LatchTable latches(100);
+  EXPECT_EQ(&latches.ForKey(42), &latches.ForKey(42));
+}
+
+TEST(LatchTableTest, IndexWithinBounds) {
+  LatchTable latches(7);
+  for (Key k = 0; k < 1000; ++k) EXPECT_LT(latches.IndexOf(k), 7u);
+}
+
+TEST(LatchTableTest, SpreadsKeys) {
+  LatchTable latches(64);
+  std::vector<int> counts(64, 0);
+  for (Key k = 0; k < 6400; ++k) ++counts[latches.IndexOf(k)];
+  int empty = 0;
+  for (int c : counts) {
+    if (c == 0) ++empty;
+  }
+  EXPECT_EQ(empty, 0);
+}
+
+TEST(LatchTableTest, MutualExclusion) {
+  LatchTable latches(4);
+  int counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        std::lock_guard<std::mutex> lock(latches.ForKey(9));
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, 40000);
+}
+
+}  // namespace
+}  // namespace ps
+}  // namespace lapse

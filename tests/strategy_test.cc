@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ps/system.h"
+
+// Location-management strategies of Table 3: message counts for remote
+// access and relocation, plus functional correctness of each strategy.
+
+namespace lapse {
+namespace ps {
+namespace {
+
+Config StrategyConfig(LocationStrategy strategy, int nodes, int workers,
+                      uint64_t keys = 32) {
+  Config cfg;
+  cfg.num_nodes = nodes;
+  cfg.workers_per_node = workers;
+  cfg.num_keys = keys;
+  cfg.uniform_value_length = 2;
+  cfg.arch = Architecture::kLapse;
+  cfg.strategy = strategy;
+  cfg.latency = net::LatencyConfig::Zero();
+  return cfg;
+}
+
+TEST(BroadcastOpsTest, RemoteAccessUsesNMessages) {
+  // Table 3: broadcast operations -> N messages per remote access
+  // (N-1 requests + 1 reply).
+  const int kNodes = 4;
+  PsSystem system(StrategyConfig(LocationStrategy::kBroadcastOps, kNodes, 1));
+  system.net_stats().Reset();
+  system.Run([&](Worker& w) {
+    if (w.node() != 2) return;
+    std::vector<Val> buf(2);
+    w.Pull({0}, buf.data());  // key 0 homed at node 0: remote for node 2
+  });
+  auto& s = system.net_stats();
+  EXPECT_EQ(s.MessagesOfType(net::MsgType::kPull), kNodes - 1);
+  EXPECT_EQ(s.MessagesOfType(net::MsgType::kPullResp), 1);
+}
+
+TEST(BroadcastOpsTest, PushAndPullCorrect) {
+  PsSystem system(StrategyConfig(LocationStrategy::kBroadcastOps, 4, 1));
+  system.Run([&](Worker& w) {
+    const std::vector<Val> one = {1.0f, 3.0f};
+    w.Push({5}, one.data());
+    w.Barrier();
+    std::vector<Val> buf(2);
+    w.Pull({5}, buf.data());
+    EXPECT_EQ(buf[0], 4.0f);
+    EXPECT_EQ(buf[1], 12.0f);
+  });
+}
+
+TEST(BroadcastOpsTest, LocalKeysStillFast) {
+  PsSystem system(StrategyConfig(LocationStrategy::kBroadcastOps, 2, 1));
+  system.Run([&](Worker& w) {
+    if (w.node() != 0) return;
+    std::vector<Val> buf(2);
+    w.Pull({0}, buf.data());  // homed at node 0 -> shared-memory path
+  });
+  EXPECT_GE(system.TotalLocalReads(), 1);
+}
+
+TEST(BroadcastRelocationsTest, RemoteAccessUsesTwoMessages) {
+  // Table 3: broadcast relocations -> 2 messages per remote access (the
+  // requester knows the owner and contacts it directly).
+  PsSystem system(
+      StrategyConfig(LocationStrategy::kBroadcastRelocations, 4, 1));
+  system.net_stats().Reset();
+  system.Run([&](Worker& w) {
+    if (w.node() != 2) return;
+    std::vector<Val> buf(2);
+    w.Pull({0}, buf.data());
+  });
+  auto& s = system.net_stats();
+  EXPECT_EQ(s.MessagesOfType(net::MsgType::kPull), 1);
+  EXPECT_EQ(s.MessagesOfType(net::MsgType::kPullResp), 1);
+}
+
+TEST(BroadcastRelocationsTest, RelocationUsesNMessages) {
+  // Table 3: broadcast relocations -> N messages per relocation
+  // (localize + transfer + N-2 direct-mail location updates).
+  const int kNodes = 4;
+  PsSystem system(
+      StrategyConfig(LocationStrategy::kBroadcastRelocations, kNodes, 1));
+  system.net_stats().Reset();
+  system.Run([&](Worker& w) {
+    if (w.node() == 2) w.Localize({0});
+  });
+  auto& s = system.net_stats();
+  EXPECT_EQ(s.MessagesOfType(net::MsgType::kLocalize), 1);
+  EXPECT_EQ(s.MessagesOfType(net::MsgType::kRelocateTransfer), 1);
+  EXPECT_EQ(s.MessagesOfType(net::MsgType::kLocationUpdate), kNodes - 2);
+  EXPECT_EQ(s.total_messages(), kNodes);
+}
+
+TEST(BroadcastRelocationsTest, AccessAfterRelocationGoesDirect) {
+  PsSystem system(
+      StrategyConfig(LocationStrategy::kBroadcastRelocations, 4, 1));
+  system.Run([&](Worker& w) {
+    if (w.node() == 2) w.Localize({0});
+    w.Barrier();
+    // All nodes learned the new location via direct mail; node 3 reads with
+    // exactly 2 messages.
+    if (w.node() == 3) {
+      system.net_stats().Reset();
+      std::vector<Val> buf(2);
+      w.Pull({0}, buf.data());
+      EXPECT_EQ(system.net_stats().total_messages(), 2);
+    }
+  });
+}
+
+TEST(BroadcastRelocationsTest, ValueSurvivesRelocationChain) {
+  PsSystem system(
+      StrategyConfig(LocationStrategy::kBroadcastRelocations, 4, 1));
+  const std::vector<Val> v = {11.0f, -4.0f};
+  system.SetValue(7, v.data());
+  for (const NodeId target : {1, 3, 0, 2}) {
+    system.Run([&](Worker& w) {
+      if (w.node() == target) {
+        w.Localize({7});
+        std::vector<Val> buf(2);
+        w.Pull({7}, buf.data());
+        EXPECT_EQ(buf[0], 11.0f);
+      }
+    });
+  }
+}
+
+TEST(HomeNodeTest, UncachedRemoteAccessUsesThreeMessages) {
+  // Table 3: home node strategy -> 3 messages uncached (request to home,
+  // forward to owner, reply).
+  PsSystem system(StrategyConfig(LocationStrategy::kHomeNode, 4, 1));
+  // Move key 0 away from its home so the forward step is real.
+  system.Run([&](Worker& w) {
+    if (w.node() == 1) w.Localize({0});
+  });
+  system.net_stats().Reset();
+  system.Run([&](Worker& w) {
+    if (w.node() == 3) {
+      std::vector<Val> buf(2);
+      w.Pull({0}, buf.data());
+    }
+  });
+  EXPECT_EQ(system.net_stats().total_messages(), 3);
+}
+
+TEST(HomeNodeTest, CorrectCacheUsesTwoMessages) {
+  Config cfg = StrategyConfig(LocationStrategy::kHomeNode, 4, 1);
+  cfg.location_caches = true;
+  PsSystem system(cfg);
+  system.Run([&](Worker& w) {
+    if (w.node() == 1) w.Localize({0});
+  });
+  system.Run([&](Worker& w) {
+    // First access: 3 messages, fills the cache.
+    if (w.node() == 3) {
+      std::vector<Val> buf(2);
+      w.Pull({0}, buf.data());
+    }
+  });
+  system.net_stats().Reset();
+  system.Run([&](Worker& w) {
+    // Second access: cached owner, 2 messages (Figure 5c).
+    if (w.node() == 3) {
+      std::vector<Val> buf(2);
+      w.Pull({0}, buf.data());
+    }
+  });
+  EXPECT_EQ(system.net_stats().total_messages(), 2);
+}
+
+TEST(HomeNodeTest, StaleCacheUsesFourMessages) {
+  Config cfg = StrategyConfig(LocationStrategy::kHomeNode, 4, 1);
+  cfg.location_caches = true;
+  PsSystem system(cfg);
+  // Warm node 3's cache: key 0 at node 1.
+  system.Run([&](Worker& w) {
+    if (w.node() == 1) w.Localize({0});
+  });
+  system.Run([&](Worker& w) {
+    if (w.node() == 3) {
+      std::vector<Val> buf(2);
+      w.Pull({0}, buf.data());
+    }
+  });
+  // Invalidate silently: move key 0 to node 2.
+  system.Run([&](Worker& w) {
+    if (w.node() == 2) w.Localize({0});
+  });
+  system.net_stats().Reset();
+  system.Run([&](Worker& w) {
+    // Stale cache: requester -> old owner -> home -> owner -> requester
+    // (double-forward, Figure 5d: 4 messages).
+    if (w.node() == 3) {
+      std::vector<Val> buf(2);
+      w.Pull({0}, buf.data());
+    }
+  });
+  EXPECT_EQ(system.net_stats().total_messages(), 4);
+}
+
+TEST(StaticPartitionTest, RemoteAccessUsesTwoMessages) {
+  // Table 3: static partition -> 2 messages per remote access.
+  Config cfg = StrategyConfig(LocationStrategy::kStaticPartition, 4, 1);
+  cfg.arch = Architecture::kClassicFastLocal;
+  PsSystem system(cfg);
+  system.net_stats().Reset();
+  system.Run([&](Worker& w) {
+    if (w.node() == 2) {
+      std::vector<Val> buf(2);
+      w.Pull({0}, buf.data());
+    }
+  });
+  EXPECT_EQ(system.net_stats().total_messages(), 2);
+}
+
+}  // namespace
+}  // namespace ps
+}  // namespace lapse

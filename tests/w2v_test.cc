@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "w2v/corpus.h"
+#include "w2v/sgns.h"
+#include "w2v/w2v_train.h"
+
+namespace lapse {
+namespace w2v {
+namespace {
+
+CorpusGenConfig SmallCorpusConfig() {
+  CorpusGenConfig cfg;
+  cfg.vocab_size = 150;
+  cfg.num_sentences = 200;
+  cfg.sentence_length = 12;
+  cfg.seed = 17;
+  return cfg;
+}
+
+TEST(CorpusGenTest, ShapeAndCoverage) {
+  const Corpus c = GenerateCorpus(SmallCorpusConfig());
+  EXPECT_EQ(c.vocab_size, 150u);
+  EXPECT_EQ(c.sentences.size(), 200u);
+  EXPECT_EQ(c.total_tokens(), 200 * 12);
+  for (uint32_t w = 0; w < c.vocab_size; ++w) {
+    EXPECT_GE(c.counts[w], 1) << "word " << w << " missing";
+  }
+}
+
+TEST(CorpusGenTest, ZipfSkew) {
+  CorpusGenConfig cfg = SmallCorpusConfig();
+  cfg.num_sentences = 2000;
+  const Corpus c = GenerateCorpus(cfg);
+  // The most frequent word should dominate the rarest by a wide margin.
+  int64_t max_count = 0, min_count = 1 << 30;
+  for (const int64_t n : c.counts) {
+    max_count = std::max(max_count, n);
+    min_count = std::min(min_count, n);
+  }
+  EXPECT_GT(max_count, 20 * min_count);
+}
+
+TEST(SgnsStepTest, PositivePairPullsTogether) {
+  std::vector<Val> center = {1.0f, 0.0f};
+  std::vector<Val> context = {0.5f, 0.5f};
+  std::vector<Val> cd(2), xd(2);
+  SgnsPairStep(center.data(), context.data(), 2, +1.0f, 0.1f, cd.data(),
+               xd.data());
+  // Positive label: gradient moves center toward context.
+  EXPECT_GT(cd[0], 0.0f);
+  EXPECT_GT(cd[1], 0.0f);
+  EXPECT_GT(xd[0], 0.0f);
+}
+
+TEST(SgnsStepTest, NegativePairPushesApart) {
+  std::vector<Val> center = {1.0f, 0.0f};
+  std::vector<Val> context = {0.5f, 0.5f};
+  std::vector<Val> cd(2), xd(2);
+  SgnsPairStep(center.data(), context.data(), 2, -1.0f, 0.1f, cd.data(),
+               xd.data());
+  EXPECT_LT(cd[0], 0.0f);
+  EXPECT_LT(xd[0], 0.0f);
+}
+
+TEST(SgnsStepTest, ZeroVectorsGiveLog2Loss) {
+  std::vector<Val> zero(4, 0.0f), cd(4), xd(4);
+  const float loss =
+      SgnsPairStep(zero.data(), zero.data(), 4, +1.0f, 0.1f, cd.data(),
+                   xd.data());
+  EXPECT_NEAR(loss, std::log(2.0f), 1e-5);
+}
+
+struct W2vParam {
+  bool latency_hiding;
+  bool local_only;
+};
+
+class W2vTrainTest : public ::testing::TestWithParam<W2vParam> {};
+
+TEST_P(W2vTrainTest, LossImprovesOverEpochs) {
+  const Corpus corpus = GenerateCorpus(SmallCorpusConfig());
+  W2vConfig cfg;
+  cfg.dim = 8;
+  cfg.window = 3;
+  cfg.negatives = 2;
+  cfg.epochs = 5;
+  cfg.lr = 0.2f;
+  cfg.presample_size = 50;
+  cfg.presample_refresh = 45;
+  cfg.latency_hiding = GetParam().latency_hiding;
+  cfg.local_only_negatives = GetParam().local_only;
+  ps::Config pscfg =
+      MakeW2vPsConfig(corpus, cfg, 2, 2, net::LatencyConfig::Zero());
+  ps::PsSystem system(pscfg);
+  InitW2vParams(system, corpus, cfg);
+  const double eval0 = W2vEvalLoss(system, corpus, cfg, 300);
+  const auto results = TrainW2v(system, corpus, cfg);
+  ASSERT_EQ(results.size(), 5u);
+  const double eval1 = W2vEvalLoss(system, corpus, cfg, 300);
+  EXPECT_LT(eval1, eval0);
+  EXPECT_GT(results.back().loss, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, W2vTrainTest,
+                         ::testing::Values(W2vParam{true, true},
+                                           W2vParam{true, false},
+                                           W2vParam{false, false}),
+                         [](const auto& info) {
+                           std::string s = info.param.latency_hiding
+                                               ? "Prelocalized"
+                                               : "Plain";
+                           s += info.param.local_only ? "LocalNegs" : "";
+                           return s;
+                         });
+
+TEST(W2vLatencyHidingTest, MostAccessesLocal) {
+  const Corpus corpus = GenerateCorpus(SmallCorpusConfig());
+  W2vConfig cfg;
+  cfg.dim = 8;
+  cfg.epochs = 1;
+  cfg.negatives = 2;
+  cfg.presample_size = 50;
+  cfg.presample_refresh = 45;
+  cfg.latency_hiding = true;
+  cfg.local_only_negatives = true;
+  ps::Config pscfg =
+      MakeW2vPsConfig(corpus, cfg, 2, 1, net::LatencyConfig::Zero());
+  ps::PsSystem system(pscfg);
+  InitW2vParams(system, corpus, cfg);
+  TrainW2v(system, corpus, cfg);
+  const int64_t local = system.TotalLocalReads();
+  const int64_t remote = system.TotalRemoteReads();
+  EXPECT_GT(local, remote);
+}
+
+TEST(W2vKeysTest, InputAndOutputKeySpacesDisjoint) {
+  const uint32_t vocab = 100;
+  std::set<Key> keys;
+  for (uint32_t w = 0; w < vocab; ++w) {
+    keys.insert(InputKey(w));
+    keys.insert(OutputKey(vocab, w));
+  }
+  EXPECT_EQ(keys.size(), 200u);
+}
+
+}  // namespace
+}  // namespace w2v
+}  // namespace lapse
