@@ -1,6 +1,7 @@
 #include "bench_common.h"
 
 #include <cstdio>
+#include <fstream>
 
 namespace lapse {
 namespace bench {
@@ -47,6 +48,32 @@ void PrintBanner(const std::string& title, const std::string& paper_ref,
 
 double Speedup(double single_node_seconds, double seconds) {
   return seconds > 0 ? single_node_seconds / seconds : 0.0;
+}
+
+bool WriteBenchJson(const std::string& path, const std::string& bench_name,
+                    const std::vector<JsonMetric>& metrics) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "WriteBenchJson: cannot open %s\n", path.c_str());
+    return false;
+  }
+  out << "{\n  \"bench\": \"" << bench_name << "\",\n  \"metrics\": {\n";
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    const JsonMetric& m = metrics[i];
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "    \"%s\": {\"ops_per_sec\": %.1f, "
+                  "\"baseline_ops_per_sec\": %.1f, "
+                  "\"speedup_vs_baseline\": %.2f}%s\n",
+                  m.name.c_str(), m.ops_per_sec, m.baseline_ops_per_sec,
+                  m.baseline_ops_per_sec > 0
+                      ? m.ops_per_sec / m.baseline_ops_per_sec
+                      : 0.0,
+                  i + 1 < metrics.size() ? "," : "");
+    out << buf;
+  }
+  out << "  }\n}\n";
+  return static_cast<bool>(out);
 }
 
 }  // namespace bench

@@ -41,6 +41,22 @@ void PrintBanner(const std::string& title, const std::string& paper_ref,
 // seconds(1 node) / seconds(n nodes), guarding division by zero.
 double Speedup(double single_node_seconds, double seconds);
 
+// Minimal machine-readable bench output (BENCH_*.json files) so the perf
+// trajectory of the hot path can be tracked across PRs.
+struct JsonMetric {
+  std::string name;          // e.g. "local_pull"
+  double ops_per_sec = 0.0;  // measured in this run
+  // Reference number measured on the pre-optimization code of the same PR
+  // that introduced the metric (0 = no baseline recorded).
+  double baseline_ops_per_sec = 0.0;
+};
+
+// Writes {"bench": name, "metrics": {name: {ops_per_sec, baseline_ops_per_sec,
+// speedup_vs_baseline}, ...}} to `path`. Returns false (and logs) on I/O
+// failure.
+bool WriteBenchJson(const std::string& path, const std::string& bench_name,
+                    const std::vector<JsonMetric>& metrics);
+
 }  // namespace bench
 }  // namespace lapse
 

@@ -12,29 +12,22 @@ void Inbox::Put(Message msg) {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push(Entry{msg.deliver_ns, next_seq_++, std::move(msg)});
     approx_size_.store(queue_.size(), std::memory_order_release);
+    put_count_.fetch_add(1, std::memory_order_release);
   }
   cv_.notify_one();
 }
 
-bool Inbox::Take(Message* out) {
+bool Inbox::WaitDeliverable(std::unique_lock<std::mutex>& lock) {
   // OS timer wakeups are ~50us-grained, far coarser than the simulated
   // latencies (2-30us). To keep the latency model honest we sleep only for
   // the bulk of long waits and spin for the final stretch.
   constexpr int64_t kSpinWindowNs = 120'000;
-  std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     if (!queue_.empty()) {
       const int64_t deliver = queue_.top().deliver_ns;
       const int64_t now = NowNanos();
-      if (deliver <= now || shutdown_) {
-        // (On shutdown we drain promptly; no need to honor latency.)
-        // const_cast: priority_queue::top() is const but we are about to
-        // pop; moving the payload out avoids a deep copy of the vectors.
-        *out = std::move(const_cast<Entry&>(queue_.top()).msg);
-        queue_.pop();
-        approx_size_.store(queue_.size(), std::memory_order_release);
-        return true;
-      }
+      // (On shutdown we drain promptly; no need to honor latency.)
+      if (deliver <= now || shutdown_) return true;
       if (deliver - now > kSpinWindowNs) {
         cv_.wait_for(lock,
                      std::chrono::nanoseconds(deliver - now - kSpinWindowNs));
@@ -67,6 +60,34 @@ bool Inbox::Take(Message* out) {
     lock.lock();
     if (queue_.empty() && !shutdown_) cv_.wait(lock);
   }
+}
+
+void Inbox::PopLocked(Message* out) {
+  // const_cast: priority_queue::top() is const but we are about to pop;
+  // moving the payload out avoids a deep copy of the vectors.
+  *out = std::move(const_cast<Entry&>(queue_.top()).msg);
+  queue_.pop();
+}
+
+bool Inbox::Take(Message* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!WaitDeliverable(lock)) return false;
+  PopLocked(out);
+  approx_size_.store(queue_.size(), std::memory_order_release);
+  return true;
+}
+
+bool Inbox::TakeBatch(std::vector<Message>* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!WaitDeliverable(lock)) return false;
+  const int64_t now = NowNanos();
+  do {
+    out->emplace_back();
+    PopLocked(&out->back());
+  } while (!queue_.empty() &&
+           (queue_.top().deliver_ns <= now || shutdown_));
+  approx_size_.store(queue_.size(), std::memory_order_release);
+  return true;
 }
 
 bool Inbox::TryTake(Message* out) {

@@ -41,10 +41,24 @@ class Inbox {
   // Non-blocking variant; returns false if nothing is deliverable yet.
   bool TryTake(Message* out);
 
+  // Blocks like Take, then appends *all* currently-deliverable messages to
+  // `out` under a single lock acquisition, in delivery order. Returns false
+  // on shutdown with an empty queue. Batching amortizes the mutex/wakeup
+  // cost across every message that piled up while the server was busy.
+  bool TakeBatch(std::vector<Message>* out);
+
   // Wakes all waiters and makes Take return false once drained.
   void Shutdown();
 
   size_t ApproxSize() const;
+
+  // Total messages ever Put() into this inbox. Together with a consumer-side
+  // processed counter this lets a system quiesce: when every inbox's
+  // PutCount equals its server's processed count, no message is queued or
+  // being handled anywhere.
+  int64_t PutCount() const {
+    return put_count_.load(std::memory_order_acquire);
+  }
 
  private:
   struct Entry {
@@ -52,6 +66,15 @@ class Inbox {
     uint64_t seq;
     Message msg;
   };
+
+  // Blocks (with the spin/sleep policy described in channel.cc) until the
+  // queue head is deliverable or the inbox shut down. Returns false only on
+  // shutdown with an empty queue. Caller passes the held lock.
+  bool WaitDeliverable(std::unique_lock<std::mutex>& lock);
+
+  // Pops the queue head into *out; caller holds the lock and guarantees
+  // non-empty.
+  void PopLocked(Message* out);
   struct EntryLater {
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.deliver_ns != b.deliver_ns) return a.deliver_ns > b.deliver_ns;
@@ -65,6 +88,7 @@ class Inbox {
   std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_;
   // Lock-free size mirror so an idle consumer can poll without the mutex.
   std::atomic<size_t> approx_size_{0};
+  std::atomic<int64_t> put_count_{0};
   std::atomic<bool> shutdown_flag_{false};
   uint64_t next_seq_ = 0;
   bool shutdown_ = false;

@@ -5,6 +5,54 @@
 namespace lapse {
 namespace net {
 
+namespace {
+
+// Bounds on pooled buffers per thread: count, and per-buffer capacity (in
+// elements) so a burst of large transfer payloads cannot pin hundreds of
+// megabytes in the pool forever. Oversized or surplus buffers are simply
+// destroyed.
+constexpr size_t kMaxPooledBuffers = 64;
+constexpr size_t kMaxPooledCapacity = 1 << 16;
+
+template <typename T>
+std::vector<T> PoolGet(std::vector<std::vector<T>>& pool) {
+  if (pool.empty()) return {};
+  std::vector<T> v = std::move(pool.back());
+  pool.pop_back();
+  v.clear();
+  return v;
+}
+
+template <typename T>
+void PoolPut(std::vector<std::vector<T>>& pool, std::vector<T> v) {
+  if (v.capacity() == 0 || v.capacity() > kMaxPooledCapacity ||
+      pool.size() >= kMaxPooledBuffers) {
+    return;
+  }
+  pool.push_back(std::move(v));
+}
+
+std::vector<std::vector<Key>>& KeyPool() {
+  static thread_local std::vector<std::vector<Key>> pool;
+  return pool;
+}
+
+std::vector<std::vector<Val>>& ValPool() {
+  static thread_local std::vector<std::vector<Val>> pool;
+  return pool;
+}
+
+}  // namespace
+
+std::vector<Key> BufferPool::GetKeys() { return PoolGet(KeyPool()); }
+std::vector<Val> BufferPool::GetVals() { return PoolGet(ValPool()); }
+void BufferPool::PutKeys(std::vector<Key> v) {
+  PoolPut(KeyPool(), std::move(v));
+}
+void BufferPool::PutVals(std::vector<Val> v) {
+  PoolPut(ValPool(), std::move(v));
+}
+
 const char* MsgTypeName(MsgType type) {
   switch (type) {
     case MsgType::kPull:
@@ -51,7 +99,7 @@ std::string Message::DebugString() const {
   std::ostringstream os;
   os << MsgTypeName(type) << " " << src_node << ":" << src_thread << " -> "
      << dst_node << " op=" << op_id << " orig=" << orig_node << ":"
-     << orig_thread << " keys=" << keys.size() << " vals=" << vals.size()
+     << orig_thread << " keys=" << keys.size() << " vals=" << val_count()
      << " hops=" << hops;
   return os.str();
 }

@@ -2,6 +2,7 @@
 #define LAPSE_NET_MESSAGE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -48,6 +49,19 @@ enum class MsgType : uint8_t {
 // Human-readable name for a message type (stats/debug output).
 const char* MsgTypeName(MsgType type);
 
+// Thread-local free lists of message payload buffers. A consumer thread that
+// finishes with a message Recycle()s its buffers; outgoing messages built on
+// the same thread then reuse that capacity. The server thread both receives
+// requests and sends replies, so its request->reply path becomes
+// allocation-free in steady state.
+class BufferPool {
+ public:
+  static std::vector<Key> GetKeys();
+  static std::vector<Val> GetVals();
+  static void PutKeys(std::vector<Key> v);
+  static void PutVals(std::vector<Val> v);
+};
+
 // A network message. Plain struct; moved, never copied on the hot path.
 struct Message {
   MsgType type = MsgType::kShutdown;
@@ -71,6 +85,29 @@ struct Message {
   std::vector<Val> vals;
   std::vector<int64_t> aux;  // protocol-specific extras (clocks, block ids)
 
+  // Shared immutable value payload, set *instead of* `vals` when one payload
+  // fans out to many peers (broadcast-ops pushes): n-1 full copies become
+  // one shared buffer. Readers must go through val_data()/val_count().
+  std::shared_ptr<const std::vector<Val>> shared_vals;
+
+  const Val* val_data() const {
+    return shared_vals ? shared_vals->data() : vals.data();
+  }
+  size_t val_count() const {
+    return shared_vals ? shared_vals->size() : vals.size();
+  }
+
+  // Returns the payload buffers to the calling thread's BufferPool. Call
+  // when the message has been fully handled; the moved-from vectors stay
+  // valid and empty.
+  void Recycle() {
+    BufferPool::PutKeys(std::move(keys));
+    BufferPool::PutVals(std::move(vals));
+    keys.clear();
+    vals.clear();
+    shared_vals.reset();
+  }
+
   // Simulation bookkeeping (set by the network).
   int64_t send_ns = 0;
   int64_t deliver_ns = 0;
@@ -78,7 +115,7 @@ struct Message {
 
   // Approximate wire size used by the latency model and byte counters.
   size_t WireBytes() const {
-    return 48 + keys.size() * sizeof(Key) + vals.size() * sizeof(Val) +
+    return 48 + keys.size() * sizeof(Key) + val_count() * sizeof(Val) +
            aux.size() * sizeof(int64_t);
   }
 

@@ -154,6 +154,10 @@ bool Network::Recv(NodeId node, Message* out) {
   return inboxes_[node]->Take(out);
 }
 
+bool Network::RecvBatch(NodeId node, std::vector<Message>* out) {
+  return inboxes_[node]->TakeBatch(out);
+}
+
 void Network::Shutdown() {
   for (auto& inbox : inboxes_) inbox->Shutdown();
 }

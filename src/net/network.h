@@ -5,6 +5,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "net/channel.h"
@@ -91,11 +92,52 @@ class Network {
   // network is shut down and the inbox drained.
   bool Recv(NodeId node, Message* out);
 
+  // Batched receive: appends every currently-deliverable message for `node`
+  // in delivery order (at least one; blocks like Recv). One lock/wakeup per
+  // batch instead of per message.
+  bool RecvBatch(NodeId node, std::vector<Message>* out);
+
   // Wakes all server threads; Recv returns false after draining.
   void Shutdown();
 
   NetStats& stats() { return stats_; }
   Inbox& inbox(NodeId node) { return *inboxes_[node]; }
+
+  // Blocks until every message ever enqueued has been fully handled by its
+  // receiver. `processed(n)` must return how many messages node n's server
+  // has finished handling (counted *after* any sends the handler performs).
+  // Used by the systems to make fire-and-forget protocol messages (location
+  // updates, clock broadcasts) visible before Run() returns. Requires that
+  // the servers keep draining (i.e. the network is not shut down) and that
+  // no new external messages are being injected.
+  template <typename ProcessedFn>
+  void Quiesce(ProcessedFn processed) const {
+    // A single all-equal pass is not enough: a handler may send to an
+    // already-checked inbox before bumping its own processed count. Both
+    // counters are monotone, so requiring two consecutive all-equal passes
+    // with *identical* PutCount values closes that window -- any activity
+    // between the passes increments some PutCount, and a handler running
+    // during a pass leaves its own node unequal.
+    std::vector<int64_t> prev(static_cast<size_t>(num_nodes_), -1);
+    std::vector<int64_t> cur(static_cast<size_t>(num_nodes_), -1);
+    for (;;) {
+      bool quiet = true;
+      for (NodeId n = 0; n < num_nodes_; ++n) {
+        cur[n] = inboxes_[n]->PutCount();
+        if (cur[n] != processed(n)) {
+          quiet = false;
+          break;
+        }
+      }
+      if (quiet && cur == prev) return;
+      if (quiet) {
+        prev.swap(cur);
+      } else {
+        prev.assign(prev.size(), -1);  // partial pass; invalidate snapshot
+        std::this_thread::yield();
+      }
+    }
+  }
 
  private:
   friend class Endpoint;

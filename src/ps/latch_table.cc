@@ -1,20 +1,35 @@
 #include "ps/latch_table.h"
 
+#include <thread>
+
 #include "util/logging.h"
 #include "util/rng.h"
 
 namespace lapse {
 namespace ps {
 
+void Latch::Yield() noexcept { std::this_thread::yield(); }
+
+namespace {
+
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
 LatchTable::LatchTable(size_t num_latches)
-    : num_latches_(num_latches), slots_(new Slot[num_latches]) {
+    : num_latches_(NextPowerOfTwo(num_latches)),
+      slots_(new Slot[num_latches_]) {
   LAPSE_CHECK_GT(num_latches, 0u);
 }
 
 size_t LatchTable::IndexOf(Key k) const {
   // Mix so that contiguous key ranges (which one worker often touches
-  // together) spread across latches.
-  return Mix64(k) % num_latches_;
+  // together) spread across latches; power-of-two size makes this a mask.
+  return Mix64(k) & (num_latches_ - 1);
 }
 
 }  // namespace ps

@@ -1,19 +1,55 @@
 #ifndef LAPSE_PS_LATCH_TABLE_H_
 #define LAPSE_PS_LATCH_TABLE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
-#include <mutex>
 
 #include "net/message.h"
 
 namespace lapse {
 namespace ps {
 
+// Tiny test-and-set spinlock (BasicLockable, usable with std::lock_guard).
+// Latches guard sub-microsecond critical sections (a state check plus a
+// short value copy), where a spinlock's uncontended lock/unlock is several
+// times cheaper than std::mutex. The spin loop yields periodically so an
+// oversubscribed machine cannot live-lock against a preempted holder.
+class Latch {
+ public:
+  void lock() noexcept {
+    for (;;) {
+      // Test-and-test-and-set: contend with plain loads (shared cache
+      // line) and only attempt the RFO exchange when the latch looks free,
+      // so spinning waiters do not slow down the holder.
+      if (!locked_.exchange(true, std::memory_order_acquire)) return;
+      int spins = 0;
+      while (locked_.load(std::memory_order_relaxed)) {
+        if (++spins >= kSpinsBeforeYield) {
+          spins = 0;
+          Yield();
+        }
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#endif
+      }
+    }
+  }
+  void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+
+ private:
+  static constexpr int kSpinsBeforeYield = 256;
+  static void Yield() noexcept;  // sched yield; out of line
+
+  std::atomic<bool> locked_{false};
+};
+
 // Fixed pool of latches with a one-to-many mapping from parameters to
 // latches (Section 3.7). Guards per-key atomic reads/writes for local
 // shared-memory access while allowing parallel access to different
-// parameters. The default pool size of 1000 is the paper's default.
+// parameters. The paper's default pool size is 1000; the pool rounds the
+// requested size up to the next power of two so the per-access latch lookup
+// is a mask instead of a 64-bit division.
 class LatchTable {
  public:
   explicit LatchTable(size_t num_latches);
@@ -21,8 +57,8 @@ class LatchTable {
   LatchTable(const LatchTable&) = delete;
   LatchTable& operator=(const LatchTable&) = delete;
 
-  std::mutex& ForKey(Key k) { return slots_[IndexOf(k)].mu; }
-  std::mutex& ByIndex(size_t i) { return slots_[i].mu; }
+  Latch& ForKey(Key k) { return slots_[IndexOf(k)].mu; }
+  Latch& ByIndex(size_t i) { return slots_[i].mu; }
 
   // Index of the latch guarding key k; exposed so callers that lock several
   // keys can deduplicate/order latch acquisitions to avoid deadlock.
@@ -32,10 +68,10 @@ class LatchTable {
 
  private:
   struct alignas(64) Slot {
-    std::mutex mu;
+    Latch mu;
   };
 
-  size_t num_latches_;
+  size_t num_latches_;  // power of two
   std::unique_ptr<Slot[]> slots_;
 };
 

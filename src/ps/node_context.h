@@ -112,6 +112,10 @@ struct NodeContext {
   // One tracker per worker slot (index 0 unused; workers use slots >= 1).
   std::vector<std::unique_ptr<OpTracker>> trackers;
 
+  // Messages this node's server has finished handling (incremented after
+  // the handler's own sends). Paired with Inbox::PutCount for quiescing.
+  std::atomic<int64_t> processed_msgs{0};
+
   ServerStats stats;
 
   KeyState StateOf(Key k) const {

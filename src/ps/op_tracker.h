@@ -50,17 +50,30 @@ class OpTracker {
   };
 
   // Registers an operation over `key_offsets.size()` keys. Returns its id.
+  // `key_offsets` is copied into a recycled op slot, so callers can pass a
+  // reusable scratch buffer; in steady state no allocation happens here.
   uint64_t Create(Val* pull_dst,
-                  std::vector<std::pair<Key, size_t>> key_offsets,
+                  const std::vector<std::pair<Key, size_t>>& key_offsets,
                   int64_t issue_ns) {
     std::lock_guard<std::mutex> lock(mu_);
     const uint64_t id = next_id_++;
-    OpState& op = ops_[id];
-    op.remaining.store(key_offsets.size(), std::memory_order_relaxed);
-    op.pull_dst = pull_dst;
-    op.key_offsets = std::move(key_offsets);
-    std::sort(op.key_offsets.begin(), op.key_offsets.end());
-    op.issue_ns = issue_ns;
+    OpState* op;
+    if (!spare_ops_.empty()) {
+      // Reuse a retired op's map node; its key_offsets keeps its capacity.
+      auto node = std::move(spare_ops_.back());
+      spare_ops_.pop_back();
+      node.key() = id;
+      op = &ops_.insert(std::move(node)).position->second;
+      op->key_offsets.clear();
+    } else {
+      op = &ops_[id];
+    }
+    op->remaining.store(key_offsets.size(), std::memory_order_relaxed);
+    op->pull_dst = pull_dst;
+    op->key_offsets.insert(op->key_offsets.end(), key_offsets.begin(),
+                           key_offsets.end());
+    std::sort(op->key_offsets.begin(), op->key_offsets.end());
+    op->issue_ns = issue_ns;
     return id;
   }
 
@@ -115,9 +128,9 @@ class OpTracker {
     {
       std::lock_guard<std::mutex> lock(mu_);
       auto it = ops_.find(id);
-      if (it == ops_.end() ||
-          it->second.remaining.load(std::memory_order_acquire) == 0) {
-        ops_.erase(id);
+      if (it == ops_.end()) return;
+      if (it->second.remaining.load(std::memory_order_acquire) == 0) {
+        Retire(it);
         return;
       }
       remaining = &it->second.remaining;
@@ -138,7 +151,8 @@ class OpTracker {
       }
     }
     std::lock_guard<std::mutex> lock(mu_);
-    ops_.erase(id);
+    auto it = ops_.find(id);
+    if (it != ops_.end()) Retire(it);
   }
 
   // Blocks until every outstanding op completed; retires them all.
@@ -172,9 +186,23 @@ class OpTracker {
   }
 
  private:
+  using OpMap = std::unordered_map<uint64_t, OpState>;
+
+  // Moves a finished op's map node to the spare list (caller holds mu_), so
+  // the node allocation and its key_offsets capacity get reused by Create.
+  void Retire(OpMap::iterator it) {
+    if (spare_ops_.size() < kMaxSpareOps) {
+      spare_ops_.push_back(ops_.extract(it));
+    } else {
+      ops_.erase(it);
+    }
+  }
+
+  static constexpr size_t kMaxSpareOps = 64;
   std::mutex mu_;
   std::condition_variable cv_;
-  std::unordered_map<uint64_t, OpState> ops_;
+  OpMap ops_;
+  std::vector<OpMap::node_type> spare_ops_;
   uint64_t next_id_ = 1;
 };
 

@@ -1,33 +1,62 @@
 #include "ps/server.h"
 
 #include <cstring>
-#include <map>
 #include <utility>
 
 #include "util/logging.h"
 #include "util/timer.h"
+#include "util/vec_ops.h"
 
 namespace lapse {
 namespace ps {
 
+using net::BufferPool;
 using net::Message;
 using net::MsgType;
+
+namespace {
+
+// Header-only copy of a request for single-key deferral: everything except
+// the payload (which the caller fills with just the deferred key's slice).
+Message SingleKeyCopy(const Message& msg, Key k) {
+  Message d;
+  d.type = msg.type;
+  d.orig_node = msg.orig_node;
+  d.orig_thread = msg.orig_thread;
+  d.op_id = msg.op_id;
+  d.requester_node = msg.requester_node;
+  d.hops = msg.hops;
+  d.keys.push_back(k);
+  return d;
+}
+
+}  // namespace
 
 Server::Server(NodeContext* ctx, net::Network* network)
     : ctx_(ctx),
       network_(network),
-      endpoint_(network->CreateEndpoint(ctx->node, /*thread=*/0)) {}
+      endpoint_(network->CreateEndpoint(ctx->node, /*thread=*/0)) {
+  groups_.Resize(static_cast<size_t>(network->num_nodes()));
+}
 
 void Server::Run() {
-  Message msg;
-  while (network_->Recv(ctx_->node, &msg)) {
-    if (msg.type == MsgType::kShutdown) break;
-    Handle(std::move(msg));
-    msg = Message();
+  // Drain the inbox in batches: one lock acquisition (and at most one
+  // condvar wakeup) per burst of deliverable messages instead of per
+  // message.
+  while (network_->RecvBatch(ctx_->node, &batch_)) {
+    for (Message& msg : batch_) {
+      if (msg.type == MsgType::kShutdown) return;
+      Handle(msg);
+      ctx_->processed_msgs.fetch_add(1, std::memory_order_release);
+      // Return whatever payload buffers the handler did not steal; replies
+      // built on this thread reuse the capacity.
+      msg.Recycle();
+    }
+    batch_.clear();
   }
 }
 
-void Server::Handle(Message msg) {
+void Server::Handle(Message& msg) {
   ctx_->stats.backlog_ns[static_cast<size_t>(msg.type)].Add(
       NowNanos() - msg.deliver_ns);
   LAPSE_CHECK_LE(msg.hops, 4 * network_->num_nodes())
@@ -35,7 +64,7 @@ void Server::Handle(Message msg) {
   switch (msg.type) {
     case MsgType::kPull:
     case MsgType::kPush:
-      HandleOp(std::move(msg));
+      HandleOp(msg);
       break;
     case MsgType::kPullResp:
       HandlePullResp(msg);
@@ -44,13 +73,13 @@ void Server::Handle(Message msg) {
       HandlePushAck(msg);
       break;
     case MsgType::kLocalize:
-      HandleLocalize(std::move(msg));
+      HandleLocalize(msg);
       break;
     case MsgType::kRelocateInstruct:
-      HandleInstruct(std::move(msg));
+      HandleInstruct(msg);
       break;
     case MsgType::kRelocateTransfer:
-      HandleTransfer(std::move(msg));
+      HandleTransfer(msg);
       break;
     case MsgType::kLocalizeNoop:
       HandleLocalizeNoop(msg);
@@ -96,57 +125,65 @@ void Server::ServeOwnedKey(const Message& msg, size_t /*key_index*/, Key k,
     reply_keys->push_back(k);
     reply_vals->insert(reply_vals->end(), slot, slot + len);
   } else {
-    for (size_t j = 0; j < len; ++j) slot[j] += push_vals[j];
+    AddTo(slot, push_vals, len);
     reply_keys->push_back(k);
   }
 }
 
-void Server::HandleOp(Message msg) {
+void Server::HandleOp(Message& msg) {
   const bool is_pull = (msg.type == MsgType::kPull);
-  std::vector<Key> reply_keys;
-  std::vector<Val> reply_vals;
-  // Forwards grouped by destination (message grouping, Section 3.7).
-  std::map<NodeId, std::pair<std::vector<Key>, std::vector<Val>>> forwards;
+  std::vector<Key> reply_keys = BufferPool::GetKeys();
+  std::vector<Val> reply_vals = BufferPool::GetVals();
+  // Forwards grouped by destination (message grouping, Section 3.7) in the
+  // flat node-indexed scratch.
+  groups_.Begin();
 
+  const Val* vals = msg.val_data();
   size_t val_off = 0;
   for (size_t i = 0; i < msg.keys.size(); ++i) {
     const Key k = msg.keys[i];
     const size_t len = is_pull ? 0 : ctx_->layout->Length(k);
-    const Val* push_vals = is_pull ? nullptr : msg.vals.data() + val_off;
+    const Val* push_vals = is_pull ? nullptr : vals + val_off;
     val_off += len;
 
-    std::lock_guard<std::mutex> latch(ctx_->latches->ForKey(k));
+    std::lock_guard<Latch> latch(ctx_->latches->ForKey(k));
     const KeyState state = ctx_->StateOf(k);
     if (state == KeyState::kOwned) {
       ServeOwnedKey(msg, i, k, push_vals, &reply_keys, &reply_vals);
-    } else if (state == KeyState::kArriving) {
-      // Queue a single-key copy until the relocation finishes (§3.2).
-      Message d;
-      d.type = msg.type;
-      d.orig_node = msg.orig_node;
-      d.orig_thread = msg.orig_thread;
-      d.op_id = msg.op_id;
-      d.hops = msg.hops;
-      d.keys.push_back(k);
-      if (!is_pull) d.vals.assign(push_vals, push_vals + len);
-      ctx_->QueueDeferred(k, std::move(d));
-    } else {
+      continue;
+    }
+    if (state != KeyState::kArriving) {
       if (ctx_->config->strategy == LocationStrategy::kBroadcastOps) {
         continue;  // some other node owns this key and will answer
       }
-      auto& group = forwards[RouteDst(k)];
-      group.first.push_back(k);
-      if (!is_pull) {
-        group.second.insert(group.second.end(), push_vals, push_vals + len);
+      const NodeId dst = RouteDst(k);
+      if (dst != ctx_->node) {
+        groups_.AddKey(dst, k);
+        if (!is_pull) groups_.AddVals(dst, push_vals, len);
+        continue;
       }
+      // Mid-relocation race: our owner view already points at this node but
+      // the transfer has not landed (state is not yet kArriving when the
+      // localize came from one of our own workers whose marking raced us, or
+      // the owner view was updated by HandleLocalize before the transfer).
+      // Forwarding would self-send and ping-pong; queue on the arrival
+      // queue instead -- the transfer that made the view point here will
+      // drain it.
     }
+    // Queue a single-key copy until the relocation finishes (§3.2).
+    Message d = SingleKeyCopy(msg, k);
+    if (!is_pull) d.vals.assign(push_vals, push_vals + len);
+    ctx_->QueueDeferred(k, std::move(d));
   }
 
   if (!reply_keys.empty()) {
     SendReply(msg, is_pull ? MsgType::kPullResp : MsgType::kPushAck,
               std::move(reply_keys), std::move(reply_vals));
+  } else {
+    BufferPool::PutKeys(std::move(reply_keys));
+    BufferPool::PutVals(std::move(reply_vals));
   }
-  for (auto& [dst, group] : forwards) {
+  for (const NodeId dst : groups_.touched()) {
     Message f;
     f.type = msg.type;
     f.dst_node = dst;
@@ -154,8 +191,8 @@ void Server::HandleOp(Message msg) {
     f.orig_thread = msg.orig_thread;
     f.op_id = msg.op_id;
     f.hops = msg.hops + 1;
-    f.keys = std::move(group.first);
-    f.vals = std::move(group.second);
+    f.keys = groups_.TakeKeys(dst);
+    f.vals = groups_.TakeVals(dst);
     endpoint_->Send(std::move(f));
   }
 }
@@ -170,30 +207,25 @@ void Server::ExtractKey(Key k, std::vector<Key>* keys,
   ctx_->SetState(k, KeyState::kNotOwned);
 }
 
-void Server::HandleLocalize(Message msg) {
+void Server::HandleLocalize(Message& msg) {
   const NodeId requester = msg.requester_node;
   LAPSE_CHECK_GE(requester, 0);
 
   if (ctx_->config->strategy == LocationStrategy::kBroadcastRelocations) {
     // Direct localize at the believed owner.
-    std::vector<Key> tkeys;
-    std::vector<Val> tvals;
+    std::vector<Key> tkeys = BufferPool::GetKeys();
+    std::vector<Val> tvals = BufferPool::GetVals();
     for (const Key k : msg.keys) {
-      std::lock_guard<std::mutex> latch(ctx_->latches->ForKey(k));
+      std::lock_guard<Latch> latch(ctx_->latches->ForKey(k));
       const KeyState state = ctx_->StateOf(k);
       if (state == KeyState::kOwned) {
         ctx_->owners->SetOwner(k, requester);
         ExtractKey(k, &tkeys, &tvals);
       } else if (state == KeyState::kArriving) {
-        Message d = msg;
-        d.keys = {k};
-        d.vals.clear();
-        ctx_->QueueDeferred(k, std::move(d));
+        ctx_->QueueDeferred(k, SingleKeyCopy(msg, k));
       } else {
         // Stale view: chase the owner.
-        Message f = msg;
-        f.keys = {k};
-        f.vals.clear();
+        Message f = SingleKeyCopy(msg, k);
         f.dst_node = RouteDst(k);
         f.hops = msg.hops + 1;
         endpoint_->Send(std::move(f));
@@ -210,13 +242,16 @@ void Server::HandleLocalize(Message msg) {
       t.keys = std::move(tkeys);
       t.vals = std::move(tvals);
       endpoint_->Send(std::move(t));
+    } else {
+      BufferPool::PutKeys(std::move(tkeys));
+      BufferPool::PutVals(std::move(tvals));
     }
     return;
   }
 
   // Home-node strategy: we are the home of every key in this message.
-  std::vector<Key> noop_keys;
-  std::map<NodeId, std::vector<Key>> by_old_owner;
+  std::vector<Key> noop_keys = BufferPool::GetKeys();
+  groups_.Begin();
   for (const Key k : msg.keys) {
     LAPSE_CHECK_EQ(ctx_->layout->Home(k), ctx_->node)
         << "localize for key " << k << " routed to non-home node";
@@ -230,7 +265,7 @@ void Server::HandleLocalize(Message msg) {
     // Update the location immediately; subsequent accesses arriving at the
     // home are routed to the requester from now on (§3.2, message 1).
     ctx_->owners->SetOwner(k, requester);
-    by_old_owner[current].push_back(k);
+    groups_.AddKey(current, k);
   }
 
   if (!noop_keys.empty()) {
@@ -242,9 +277,11 @@ void Server::HandleLocalize(Message msg) {
     n.op_id = msg.op_id;
     n.keys = std::move(noop_keys);
     endpoint_->Send(std::move(n));
+  } else {
+    BufferPool::PutKeys(std::move(noop_keys));
   }
 
-  for (auto& [old_owner, keys] : by_old_owner) {
+  for (const NodeId old_owner : groups_.touched()) {
     Message instr;
     instr.type = MsgType::kRelocateInstruct;
     instr.dst_node = old_owner;
@@ -253,32 +290,30 @@ void Server::HandleLocalize(Message msg) {
     instr.orig_thread = msg.orig_thread;
     instr.op_id = msg.op_id;
     instr.hops = msg.hops + 1;
-    instr.keys = std::move(keys);
+    instr.keys = groups_.TakeKeys(old_owner);
     if (old_owner == ctx_->node) {
       // The home itself is the old owner: hand over directly (the 2-message
       // relocation the paper notes for 2-node clusters).
-      HandleInstruct(std::move(instr));
+      HandleInstruct(instr);
+      instr.Recycle();
     } else {
       endpoint_->Send(std::move(instr));
     }
   }
 }
 
-void Server::HandleInstruct(Message msg) {
-  std::vector<Key> tkeys;
-  std::vector<Val> tvals;
+void Server::HandleInstruct(Message& msg) {
+  std::vector<Key> tkeys = BufferPool::GetKeys();
+  std::vector<Val> tvals = BufferPool::GetVals();
   for (const Key k : msg.keys) {
-    std::lock_guard<std::mutex> latch(ctx_->latches->ForKey(k));
+    std::lock_guard<Latch> latch(ctx_->latches->ForKey(k));
     const KeyState state = ctx_->StateOf(k);
     if (state == KeyState::kOwned) {
       ExtractKey(k, &tkeys, &tvals);
     } else if (state == KeyState::kArriving) {
       // The key is still on its way to us (chained relocation): defer the
       // hand-over until it lands.
-      Message d = msg;
-      d.keys = {k};
-      d.vals.clear();
-      ctx_->QueueDeferred(k, std::move(d));
+      ctx_->QueueDeferred(k, SingleKeyCopy(msg, k));
     } else {
       LAPSE_LOG(Fatal) << "relocate instruct for key " << k << " at node "
                        << ctx_->node << " which does not hold it";
@@ -295,10 +330,13 @@ void Server::HandleInstruct(Message msg) {
     t.keys = std::move(tkeys);
     t.vals = std::move(tvals);
     endpoint_->Send(std::move(t));
+  } else {
+    BufferPool::PutKeys(std::move(tkeys));
+    BufferPool::PutVals(std::move(tvals));
   }
 }
 
-void Server::HandleTransfer(Message msg) {
+void Server::HandleTransfer(Message& msg) {
   LAPSE_CHECK_EQ(msg.orig_node, ctx_->node)
       << "transfer must arrive at the requester";
   OpTracker& tracker = ctx_->TrackerFor(msg.orig_thread);
@@ -309,7 +347,11 @@ void Server::HandleTransfer(Message msg) {
   size_t val_off = 0;
   for (const Key k : msg.keys) {
     const size_t len = ctx_->layout->Length(k);
-    std::lock_guard<std::mutex> latch(ctx_->latches->ForKey(k));
+    // The latch is held across the whole drain on purpose: deferred ops
+    // must apply before any new fast-path access to the key (per-worker
+    // read-your-writes through a relocation). Workers colliding on the
+    // latch spin-with-yield for the (typically short) queue.
+    std::lock_guard<Latch> latch(ctx_->latches->ForKey(k));
     ctx_->store->Put(k, msg.vals.data() + val_off);
     val_off += len;
     ctx_->SetState(k, KeyState::kOwned);
@@ -347,16 +389,16 @@ void Server::DrainArrived(Key k) {
       if (op.type == MsgType::kPull) {
         std::memcpy(op.pull_dst, slot, len * sizeof(Val));
       } else {
-        for (size_t j = 0; j < len; ++j) slot[j] += op.push_update[j];
+        AddTo(slot, op.push_update.data(), len);
       }
       ctx_->TrackerFor(op.worker_thread).CompleteKeys(op.op_id, 1);
       continue;
     }
     Message& m = std::get<Message>(item);
     if (m.type == MsgType::kPull || m.type == MsgType::kPush) {
-      std::vector<Key> reply_keys;
-      std::vector<Val> reply_vals;
-      ServeOwnedKey(m, 0, k, m.vals.data(), &reply_keys, &reply_vals);
+      std::vector<Key> reply_keys = BufferPool::GetKeys();
+      std::vector<Val> reply_vals = BufferPool::GetVals();
+      ServeOwnedKey(m, 0, k, m.val_data(), &reply_keys, &reply_vals);
       SendReply(m, m.type == MsgType::kPull ? MsgType::kPullResp
                                             : MsgType::kPushAck,
                 std::move(reply_keys), std::move(reply_vals));
@@ -369,8 +411,8 @@ void Server::DrainArrived(Key k) {
     if (ctx_->config->strategy == LocationStrategy::kBroadcastRelocations) {
       ctx_->owners->SetOwner(k, m.requester_node);
     }
-    std::vector<Key> tkeys;
-    std::vector<Val> tvals;
+    std::vector<Key> tkeys = BufferPool::GetKeys();
+    std::vector<Val> tvals = BufferPool::GetVals();
     ExtractKey(k, &tkeys, &tvals);
     ctx_->stats.localization_conflicts.Add(1);
     Message t;
@@ -393,6 +435,14 @@ void Server::DrainArrived(Key k) {
 }
 
 void Server::ForwardDeferred(Key k, Deferred item) {
+  const NodeId dst = RouteDst(k);
+  if (dst == ctx_->node) {
+    // The owner view points back at this node: another transfer to us is in
+    // flight (see HandleOp's mid-relocation case). Keep the item queued
+    // locally; that transfer's DrainArrived will pick it up.
+    ctx_->QueueDeferred(k, std::move(item));
+    return;
+  }
   Message m;
   if (std::holds_alternative<DeferredLocalOp>(item)) {
     DeferredLocalOp& op = std::get<DeferredLocalOp>(item);
@@ -406,7 +456,7 @@ void Server::ForwardDeferred(Key k, Deferred item) {
     m = std::move(std::get<Message>(item));
     m.hops += 1;
   }
-  m.dst_node = RouteDst(k);
+  m.dst_node = dst;
   endpoint_->Send(std::move(m));
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "net/network.h"
+#include "ps/dest_groups.h"
 #include "ps/node_context.h"
 
 namespace lapse {
@@ -25,23 +26,25 @@ class Server {
   void Run();
 
  private:
-  void Handle(net::Message msg);
+  // Handles one message. The message's payload buffers may be stolen for
+  // replies; whatever remains is recycled by the caller.
+  void Handle(net::Message& msg);
 
   // kPull / kPush for keys possibly owned here; splits into
   // process-here / queue-arriving / forward-elsewhere per key.
-  void HandleOp(net::Message msg);
+  void HandleOp(net::Message& msg);
 
   // Home-node side of localize (message 1 -> message 2). Under the
   // broadcast-relocations strategy this arrives directly at the believed
   // owner instead.
-  void HandleLocalize(net::Message msg);
+  void HandleLocalize(net::Message& msg);
 
   // Old-owner side: hand keys over to the requester (message 2 -> 3).
-  void HandleInstruct(net::Message msg);
+  void HandleInstruct(net::Message& msg);
 
   // Requester side: install arrived keys, complete the localize op, drain
   // queued operations in order.
-  void HandleTransfer(net::Message msg);
+  void HandleTransfer(net::Message& msg);
 
   // Response handling: scatter pulled values / acks into worker trackers,
   // refresh the location cache.
@@ -76,6 +79,12 @@ class Server {
   NodeContext* ctx_;
   net::Network* network_;
   std::unique_ptr<net::Endpoint> endpoint_;
+
+  // Reusable per-message scratch (the server is single-threaded): flat
+  // destination-indexed grouping replacing std::map, and the batch buffer
+  // for Inbox::TakeBatch.
+  DestGroups groups_;
+  std::vector<net::Message> batch_;
 };
 
 }  // namespace ps

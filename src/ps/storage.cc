@@ -23,41 +23,89 @@ void DenseStorage::Erase(Key k) {
 SparseStorage::SparseStorage(const KeyLayout* layout)
     : layout_(layout), shards_(kNumShards) {}
 
+Val* SparseStorage::AllocSlot(Shard& shard, size_t len) {
+  LenClass* cls = nullptr;
+  for (LenClass& c : shard.classes) {
+    if (c.slot_len == len) {
+      cls = &c;
+      break;
+    }
+  }
+  if (cls == nullptr) {
+    shard.classes.emplace_back();
+    cls = &shard.classes.back();
+    cls->slot_len = len;
+  }
+  if (!cls->free_list.empty()) {
+    Val* slot = cls->free_list.back();
+    cls->free_list.pop_back();
+    return slot;
+  }
+  if (cls->next_unused == kSlotsPerChunk) {
+    cls->chunks.push_back(std::make_unique<Val[]>(len * kSlotsPerChunk));
+    cls->next_unused = 0;
+  }
+  Val* slot = cls->chunks.back().get() + cls->next_unused * len;
+  ++cls->next_unused;
+  return slot;
+}
+
+void SparseStorage::FreeSlot(Shard& shard, size_t len, Val* slot) {
+  for (LenClass& c : shard.classes) {
+    if (c.slot_len == len) {
+      c.free_list.push_back(slot);
+      return;
+    }
+  }
+  LAPSE_LOG(Fatal) << "freeing a slot of unknown length class " << len;
+}
+
 Val* SparseStorage::Get(Key k) {
   Shard& shard = ShardFor(k);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.map.find(k);
-  return it == shard.map.end() ? nullptr : it->second.data();
+  return it == shard.map.end() ? nullptr : it->second;
 }
 
 Val* SparseStorage::GetOrCreate(Key k) {
   Shard& shard = ShardFor(k);
   std::lock_guard<std::mutex> lock(shard.mu);
-  auto [it, inserted] = shard.map.try_emplace(k);
-  if (inserted) it->second.assign(layout_->Length(k), 0.0f);
-  return it->second.data();
+  auto [it, inserted] = shard.map.try_emplace(k, nullptr);
+  if (inserted) {
+    const size_t len = layout_->Length(k);
+    it->second = AllocSlot(shard, len);
+    std::memset(it->second, 0, len * sizeof(Val));
+  }
+  return it->second;
 }
 
 void SparseStorage::Put(Key k, const Val* data) {
   Shard& shard = ShardFor(k);
   std::lock_guard<std::mutex> lock(shard.mu);
-  auto [it, inserted] = shard.map.try_emplace(k);
-  it->second.assign(data, data + layout_->Length(k));
+  auto [it, inserted] = shard.map.try_emplace(k, nullptr);
+  if (inserted) it->second = AllocSlot(shard, layout_->Length(k));
+  std::memcpy(it->second, data, layout_->Length(k) * sizeof(Val));
 }
 
 void SparseStorage::Erase(Key k) {
   Shard& shard = ShardFor(k);
   std::lock_guard<std::mutex> lock(shard.mu);
-  shard.map.erase(k);
+  auto it = shard.map.find(k);
+  if (it == shard.map.end()) return;
+  FreeSlot(shard, layout_->Length(k), it->second);
+  shard.map.erase(it);
 }
 
 size_t SparseStorage::MemoryBytes() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(const_cast<std::mutex&>(shard.mu));
-    for (const auto& [k, v] : shard.map) {
-      total += sizeof(Key) + v.capacity() * sizeof(Val) + 48;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const LenClass& c : shard.classes) {
+      total += c.chunks.size() * c.slot_len * kSlotsPerChunk * sizeof(Val) +
+               c.free_list.capacity() * sizeof(Val*);
     }
+    // Index entry overhead (key, slot pointer, hash-node bookkeeping).
+    total += shard.map.size() * (sizeof(Key) + sizeof(Val*) + 16);
   }
   return total;
 }

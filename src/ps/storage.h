@@ -38,6 +38,11 @@ class Storage {
 
   // Approximate resident bytes, for Table 4-style reporting.
   virtual size_t MemoryBytes() const = 0;
+
+  // Base pointer of a flat dense layout (key k's slot at layout.Offset(k)),
+  // or nullptr if the store is not dense. Lets hot paths skip the virtual
+  // per-key slot lookup.
+  virtual Val* DenseBase() { return nullptr; }
 };
 
 // Dense store: one flat array covering the entire key space. With dynamic
@@ -55,16 +60,22 @@ class DenseStorage : public Storage {
   size_t MemoryBytes() const override {
     return data_.size() * sizeof(Val);
   }
+  Val* DenseBase() override { return data_.data(); }
 
  private:
   const KeyLayout* layout_;
   std::vector<Val> data_;
 };
 
-// Sparse store: sharded hash map. Shard mutexes protect the map structure;
-// element pointers remain stable across other keys' inserts/erases
-// (std::unordered_map reference stability), so returned pointers may be used
-// under the per-key latch after the shard lock is released.
+// Sparse store: sharded index over slab-allocated value slots.
+//
+// Values live in per-length-class slabs: chunks of kSlotsPerChunk
+// fixed-length slots that are never freed or moved, so slot pointers are
+// stable for the life of the store (returned pointers may be used under the
+// per-key latch after the shard lock is released). Erase pushes the slot
+// onto the class's free list and Put/GetOrCreate pop from it, so the
+// Erase->Put churn of parameter relocation (the DPA common case, §3.2)
+// recycles memory instead of hitting the heap.
 class SparseStorage : public Storage {
  public:
   explicit SparseStorage(const KeyLayout* layout);
@@ -77,11 +88,31 @@ class SparseStorage : public Storage {
 
  private:
   static constexpr size_t kNumShards = 64;
-  struct Shard {
-    std::mutex mu;
-    std::unordered_map<Key, std::vector<Val>> map;
+  static constexpr size_t kSlotsPerChunk = 64;
+
+  // Slab for one distinct value length within one shard.
+  struct LenClass {
+    size_t slot_len = 0;  // Vals per slot
+    std::vector<std::unique_ptr<Val[]>> chunks;
+    std::vector<Val*> free_list;          // slots recycled by Erase
+    size_t next_unused = kSlotsPerChunk;  // bump index into chunks.back()
   };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<Key, Val*> map;
+    // Distinct lengths are few (e.g. RESCAL: d and d^2); linear scan.
+    std::vector<LenClass> classes;
+  };
+
   Shard& ShardFor(Key k) { return shards_[k % kNumShards]; }
+
+  // Pops (or carves) a slot of `len` Vals; caller holds the shard mutex.
+  // The slot may contain stale data -- callers zero or overwrite it.
+  Val* AllocSlot(Shard& shard, size_t len);
+
+  // Returns key k's slot to its length class; caller holds the shard mutex.
+  void FreeSlot(Shard& shard, size_t len, Val* slot);
 
   const KeyLayout* layout_;
   std::vector<Shard> shards_;

@@ -83,12 +83,18 @@ void PsSystem::Run(const std::function<void(Worker&)>& fn) {
     }
   }
   for (auto& t : threads) t.join();
+  // Workers waited for all *tracked* ops, but fire-and-forget messages
+  // (location updates, trailing forwards) may still be in flight; drain them
+  // so stats and ownership views are settled when Run() returns.
+  network_.Quiesce([this](NodeId n) {
+    return nodes_[n]->processed_msgs.load(std::memory_order_acquire);
+  });
 }
 
 void PsSystem::SetValue(Key k, const Val* data) {
   const NodeId owner = OwnerOf(k);
   NodeContext& ctx = *nodes_[owner];
-  std::lock_guard<std::mutex> latch(ctx.latches->ForKey(k));
+  std::lock_guard<Latch> latch(ctx.latches->ForKey(k));
   LAPSE_CHECK(ctx.StateOf(k) == KeyState::kOwned);
   ctx.store->Put(k, data);
 }
@@ -96,7 +102,7 @@ void PsSystem::SetValue(Key k, const Val* data) {
 void PsSystem::GetValue(Key k, Val* dst) {
   const NodeId owner = OwnerOf(k);
   NodeContext& ctx = *nodes_[owner];
-  std::lock_guard<std::mutex> latch(ctx.latches->ForKey(k));
+  std::lock_guard<Latch> latch(ctx.latches->ForKey(k));
   LAPSE_CHECK(ctx.StateOf(k) == KeyState::kOwned);
   std::memcpy(dst, ctx.store->GetOrCreate(k),
               layout_.Length(k) * sizeof(Val));

@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <cstring>
-#include <map>
 #include <mutex>
 
 #include "util/logging.h"
 #include "util/timer.h"
+#include "util/vec_ops.h"
 
 namespace lapse {
 namespace ps {
@@ -30,10 +30,13 @@ Worker::Worker(NodeContext* ctx, net::Network* network,
       (arch == Architecture::kLapse &&
        (ctx_->config->strategy == LocationStrategy::kHomeNode ||
         ctx_->config->strategy == LocationStrategy::kBroadcastRelocations));
+  dense_base_ = ctx_->store->DenseBase();
+  scratch_.groups.Resize(static_cast<size_t>(ctx_->layout->num_nodes()));
 }
 
 Worker::~Worker() { tracker_->WaitAll(); }
 
+#ifndef NDEBUG
 void Worker::CheckDistinct(const std::vector<Key>& keys) const {
   if (keys.size() <= 1) return;
   std::vector<Key> sorted(keys);
@@ -42,6 +45,14 @@ void Worker::CheckDistinct(const std::vector<Key>& keys) const {
     LAPSE_CHECK_NE(sorted[i - 1], sorted[i])
         << "duplicate key in one operation";
   }
+}
+#endif
+
+bool Worker::AllOwned(const std::vector<Key>& keys) const {
+  for (const Key k : keys) {
+    if (ctx_->StateOf(k) != KeyState::kOwned) return false;
+  }
+  return true;
 }
 
 NodeId Worker::RemoteDst(Key k) const {
@@ -69,73 +80,64 @@ uint64_t Worker::PullAsync(const std::vector<Key>& keys, Val* dst) {
   CheckDistinct(keys);
   const KeyLayout& layout = *ctx_->layout;
 
-  // Fast path: every key owned locally (shared-memory access, §3.3).
+  // Fast path (shared-memory access, §3.3): optimistically serve each key
+  // under its own latch -- the PS guarantees of Table 1 are per-key, so no
+  // multi-key latch set is needed. The first non-owned key hands the
+  // remaining suffix to the tracked slow path (the copied prefix is final:
+  // a pull may scatter per key). Allocation- and tracker-free when every
+  // key is local.
+  size_t done = 0;      // keys completed optimistically
+  size_t done_off = 0;  // Val offset right after the completed prefix
   if (fast_local_) {
-    bool all_owned = true;
-    for (const Key k : keys) {
+    for (; done < keys.size(); ++done) {
+      const Key k = keys[done];
+      Latch& latch = ctx_->latches->ForKey(k);
+      latch.lock();
       if (ctx_->StateOf(k) != KeyState::kOwned) {
-        all_owned = false;
+        latch.unlock();
         break;
       }
+      const size_t len = layout.Length(k);
+      std::memcpy(dst + done_off, Slot(k), len * sizeof(Val));
+      latch.unlock();
+      done_off += len;
     }
-    if (all_owned) {
-      std::vector<size_t> idx;
-      idx.reserve(keys.size());
-      for (const Key k : keys) idx.push_back(ctx_->latches->IndexOf(k));
-      std::sort(idx.begin(), idx.end());
-      idx.erase(std::unique(idx.begin(), idx.end()), idx.end());
-      std::vector<std::unique_lock<std::mutex>> locks;
-      locks.reserve(idx.size());
-      for (const size_t i : idx) {
-        locks.emplace_back(ctx_->latches->ByIndex(i));
-      }
-      bool still_owned = true;
-      for (const Key k : keys) {
-        if (ctx_->StateOf(k) != KeyState::kOwned) {
-          still_owned = false;
-          break;
-        }
-      }
-      if (still_owned) {
-        size_t off = 0;
-        for (const Key k : keys) {
-          const size_t len = layout.Length(k);
-          std::memcpy(dst + off, ctx_->store->GetOrCreate(k),
-                      len * sizeof(Val));
-          off += len;
-        }
-        ctx_->stats.local_key_reads.Add(static_cast<int64_t>(keys.size()));
-        return kImmediate;
-      }
+    if (done == keys.size()) {
+      ctx_->stats.local_key_reads.Add(static_cast<int64_t>(keys.size()));
+      return kImmediate;
     }
   }
 
-  // Slow path: mixed local/remote, or classic (message-only) architecture.
-  std::vector<std::pair<Key, size_t>> key_offsets;
-  key_offsets.reserve(keys.size());
+  // Slow path for keys[done..]: mixed local/remote, or classic
+  // (message-only) architecture. Offsets stay absolute into `dst`.
+  Scratch& sc = scratch_;
+  sc.key_offsets.clear();
   {
-    size_t off = 0;
-    for (const Key k : keys) {
-      key_offsets.emplace_back(k, off);
-      off += layout.Length(k);
+    size_t off = done_off;
+    for (size_t i = done; i < keys.size(); ++i) {
+      sc.key_offsets.emplace_back(keys[i], off);
+      off += layout.Length(keys[i]);
     }
   }
-  const uint64_t op = tracker_->Create(dst, key_offsets, NowNanos());
+  const uint64_t op = tracker_->Create(dst, sc.key_offsets, NowNanos());
 
   size_t inline_done = 0;
-  int64_t local_reads = 0, remote_reads = 0, queued = 0;
-  std::map<NodeId, std::vector<Key>> groups;
-  std::vector<Key> broadcast_keys;
+  int64_t local_reads = static_cast<int64_t>(done);
+  int64_t remote_reads = 0, queued = 0;
+  sc.groups.Begin();
+  sc.broadcast_keys.clear();
+  const bool broadcast_ops =
+      ctx_->config->strategy == LocationStrategy::kBroadcastOps;
 
-  for (size_t i = 0; i < keys.size(); ++i) {
-    const Key k = keys[i];
-    const size_t off = key_offsets[i].second;
+  for (size_t i = 0; i < sc.key_offsets.size(); ++i) {
+    const Key k = sc.key_offsets[i].first;
+    const size_t off = sc.key_offsets[i].second;
     bool handled = false;
     if (fast_local_) {
-      std::lock_guard<std::mutex> latch(ctx_->latches->ForKey(k));
+      std::lock_guard<Latch> latch(ctx_->latches->ForKey(k));
       const KeyState state = ctx_->StateOf(k);
       if (state == KeyState::kOwned) {
-        std::memcpy(dst + off, ctx_->store->GetOrCreate(k),
+        std::memcpy(dst + off, Slot(k),
                     layout.Length(k) * sizeof(Val));
         ++inline_done;
         ++local_reads;
@@ -155,10 +157,10 @@ uint64_t Worker::PullAsync(const std::vector<Key>& keys, Val* dst) {
     }
     if (handled) continue;
     ++remote_reads;
-    if (ctx_->config->strategy == LocationStrategy::kBroadcastOps) {
-      broadcast_keys.push_back(k);
+    if (broadcast_ops) {
+      sc.broadcast_keys.push_back(k);
     } else {
-      groups[RemoteDst(k)].push_back(k);
+      sc.groups.AddKey(RemoteDst(k), k);
     }
   }
 
@@ -166,17 +168,17 @@ uint64_t Worker::PullAsync(const std::vector<Key>& keys, Val* dst) {
   ctx_->stats.remote_key_reads.Add(remote_reads);
   ctx_->stats.queued_local_ops.Add(queued);
 
-  for (auto& [dst_node, group_keys] : groups) {
+  for (const NodeId dst_node : sc.groups.touched()) {
     Message m;
     m.type = MsgType::kPull;
     m.dst_node = dst_node;
     m.orig_node = ctx_->node;
     m.orig_thread = thread_;
     m.op_id = op;
-    m.keys = std::move(group_keys);
+    m.keys = sc.groups.TakeKeys(dst_node);
     endpoint_->Send(std::move(m));
   }
-  if (!broadcast_keys.empty()) {
+  if (!sc.broadcast_keys.empty()) {
     for (NodeId n = 0; n < ctx_->layout->num_nodes(); ++n) {
       if (n == ctx_->node) continue;
       Message m;
@@ -185,7 +187,7 @@ uint64_t Worker::PullAsync(const std::vector<Key>& keys, Val* dst) {
       m.orig_node = ctx_->node;
       m.orig_thread = thread_;
       m.op_id = op;
-      m.keys = broadcast_keys;
+      m.keys = sc.broadcast_keys;
       endpoint_->Send(std::move(m));
     }
   }
@@ -199,75 +201,63 @@ uint64_t Worker::PushAsync(const std::vector<Key>& keys,
   CheckDistinct(keys);
   const KeyLayout& layout = *ctx_->layout;
 
-  // Fast path: every key owned locally.
+  // Fast path: optimistic per-key application under the key's own latch
+  // (per-key guarantees, Table 1). An applied prefix is final -- cumulative
+  // updates are applied exactly once -- and the suffix from the first
+  // non-owned key falls through to the tracked slow path.
+  size_t done = 0;
+  size_t done_off = 0;
   if (fast_local_) {
-    bool all_owned = true;
-    for (const Key k : keys) {
+    for (; done < keys.size(); ++done) {
+      const Key k = keys[done];
+      Latch& latch = ctx_->latches->ForKey(k);
+      latch.lock();
       if (ctx_->StateOf(k) != KeyState::kOwned) {
-        all_owned = false;
+        latch.unlock();
         break;
       }
+      const size_t len = layout.Length(k);
+      AddTo(Slot(k), updates + done_off, len);
+      latch.unlock();
+      done_off += len;
     }
-    if (all_owned) {
-      std::vector<size_t> idx;
-      idx.reserve(keys.size());
-      for (const Key k : keys) idx.push_back(ctx_->latches->IndexOf(k));
-      std::sort(idx.begin(), idx.end());
-      idx.erase(std::unique(idx.begin(), idx.end()), idx.end());
-      std::vector<std::unique_lock<std::mutex>> locks;
-      locks.reserve(idx.size());
-      for (const size_t i : idx) {
-        locks.emplace_back(ctx_->latches->ByIndex(i));
-      }
-      bool still_owned = true;
-      for (const Key k : keys) {
-        if (ctx_->StateOf(k) != KeyState::kOwned) {
-          still_owned = false;
-          break;
-        }
-      }
-      if (still_owned) {
-        size_t off = 0;
-        for (const Key k : keys) {
-          const size_t len = layout.Length(k);
-          Val* slot = ctx_->store->GetOrCreate(k);
-          for (size_t j = 0; j < len; ++j) slot[j] += updates[off + j];
-          off += len;
-        }
-        ctx_->stats.local_key_writes.Add(static_cast<int64_t>(keys.size()));
-        return kImmediate;
-      }
+    if (done == keys.size()) {
+      ctx_->stats.local_key_writes.Add(static_cast<int64_t>(keys.size()));
+      return kImmediate;
     }
   }
 
-  std::vector<std::pair<Key, size_t>> key_offsets;
-  key_offsets.reserve(keys.size());
+  // Slow path for keys[done..]; offsets stay absolute into `updates`.
+  Scratch& sc = scratch_;
+  sc.key_offsets.clear();
   {
-    size_t off = 0;
-    for (const Key k : keys) {
-      key_offsets.emplace_back(k, off);
-      off += layout.Length(k);
+    size_t off = done_off;
+    for (size_t i = done; i < keys.size(); ++i) {
+      sc.key_offsets.emplace_back(keys[i], off);
+      off += layout.Length(keys[i]);
     }
   }
-  const uint64_t op = tracker_->Create(nullptr, key_offsets, NowNanos());
+  const uint64_t op = tracker_->Create(nullptr, sc.key_offsets, NowNanos());
 
   size_t inline_done = 0;
-  int64_t local_writes = 0, remote_writes = 0, queued = 0;
-  std::map<NodeId, std::pair<std::vector<Key>, std::vector<Val>>> groups;
-  std::vector<Key> broadcast_keys;
-  std::vector<Val> broadcast_vals;
+  int64_t local_writes = static_cast<int64_t>(done);
+  int64_t remote_writes = 0, queued = 0;
+  sc.groups.Begin();
+  sc.broadcast_keys.clear();
+  sc.broadcast_vals.clear();
+  const bool broadcast_ops =
+      ctx_->config->strategy == LocationStrategy::kBroadcastOps;
 
-  for (size_t i = 0; i < keys.size(); ++i) {
-    const Key k = keys[i];
-    const size_t off = key_offsets[i].second;
+  for (size_t i = 0; i < sc.key_offsets.size(); ++i) {
+    const Key k = sc.key_offsets[i].first;
+    const size_t off = sc.key_offsets[i].second;
     const size_t len = layout.Length(k);
     bool handled = false;
     if (fast_local_) {
-      std::lock_guard<std::mutex> latch(ctx_->latches->ForKey(k));
+      std::lock_guard<Latch> latch(ctx_->latches->ForKey(k));
       const KeyState state = ctx_->StateOf(k);
       if (state == KeyState::kOwned) {
-        Val* slot = ctx_->store->GetOrCreate(k);
-        for (size_t j = 0; j < len; ++j) slot[j] += updates[off + j];
+        AddTo(Slot(k), updates + off, len);
         ++inline_done;
         ++local_writes;
         handled = true;
@@ -286,15 +276,14 @@ uint64_t Worker::PushAsync(const std::vector<Key>& keys,
     }
     if (handled) continue;
     ++remote_writes;
-    if (ctx_->config->strategy == LocationStrategy::kBroadcastOps) {
-      broadcast_keys.push_back(k);
-      broadcast_vals.insert(broadcast_vals.end(), updates + off,
-                            updates + off + len);
+    if (broadcast_ops) {
+      sc.broadcast_keys.push_back(k);
+      sc.broadcast_vals.insert(sc.broadcast_vals.end(), updates + off,
+                               updates + off + len);
     } else {
-      auto& group = groups[RemoteDst(k)];
-      group.first.push_back(k);
-      group.second.insert(group.second.end(), updates + off,
-                          updates + off + len);
+      const NodeId dst_node = RemoteDst(k);
+      sc.groups.AddKey(dst_node, k);
+      sc.groups.AddVals(dst_node, updates + off, len);
     }
   }
 
@@ -302,18 +291,22 @@ uint64_t Worker::PushAsync(const std::vector<Key>& keys,
   ctx_->stats.remote_key_writes.Add(remote_writes);
   ctx_->stats.queued_local_ops.Add(queued);
 
-  for (auto& [dst_node, group] : groups) {
+  for (const NodeId dst_node : sc.groups.touched()) {
     Message m;
     m.type = MsgType::kPush;
     m.dst_node = dst_node;
     m.orig_node = ctx_->node;
     m.orig_thread = thread_;
     m.op_id = op;
-    m.keys = std::move(group.first);
-    m.vals = std::move(group.second);
+    m.keys = sc.groups.TakeKeys(dst_node);
+    m.vals = sc.groups.TakeVals(dst_node);
     endpoint_->Send(std::move(m));
   }
-  if (!broadcast_keys.empty()) {
+  if (!sc.broadcast_keys.empty()) {
+    // One shared payload for all peers instead of n-1 full copies; moving
+    // the scratch buffer makes the broadcast path itself zero-copy.
+    auto shared =
+        std::make_shared<const std::vector<Val>>(std::move(sc.broadcast_vals));
     for (NodeId n = 0; n < ctx_->layout->num_nodes(); ++n) {
       if (n == ctx_->node) continue;
       Message m;
@@ -322,8 +315,8 @@ uint64_t Worker::PushAsync(const std::vector<Key>& keys,
       m.orig_node = ctx_->node;
       m.orig_thread = thread_;
       m.op_id = op;
-      m.keys = broadcast_keys;
-      m.vals = broadcast_vals;
+      m.keys = sc.broadcast_keys;
+      m.shared_vals = shared;
       endpoint_->Send(std::move(m));
     }
   }
@@ -337,29 +330,20 @@ uint64_t Worker::LocalizeAsync(const std::vector<Key>& keys) {
   CheckDistinct(keys);
 
   // Fast path: every key already owned here -- localize is a no-op.
-  {
-    bool all_owned = true;
-    for (const Key k : keys) {
-      if (ctx_->StateOf(k) != KeyState::kOwned) {
-        all_owned = false;
-        break;
-      }
-    }
-    if (all_owned) return kImmediate;
-  }
+  if (AllOwned(keys)) return kImmediate;
 
-  std::vector<std::pair<Key, size_t>> key_offsets;
-  key_offsets.reserve(keys.size());
-  for (const Key k : keys) key_offsets.emplace_back(k, 0);
-  const uint64_t op = tracker_->Create(nullptr, key_offsets, NowNanos());
+  Scratch& sc = scratch_;
+  sc.key_offsets.clear();
+  for (const Key k : keys) sc.key_offsets.emplace_back(k, 0);
+  const uint64_t op = tracker_->Create(nullptr, sc.key_offsets, NowNanos());
 
   size_t inline_done = 0;
-  std::map<NodeId, std::vector<Key>> groups;
+  sc.groups.Begin();
   const bool broadcast_reloc =
       ctx_->config->strategy == LocationStrategy::kBroadcastRelocations;
 
   for (const Key k : keys) {
-    std::lock_guard<std::mutex> latch(ctx_->latches->ForKey(k));
+    std::lock_guard<Latch> latch(ctx_->latches->ForKey(k));
     const KeyState state = ctx_->StateOf(k);
     if (state == KeyState::kOwned) {
       ++inline_done;
@@ -382,10 +366,11 @@ uint64_t Worker::LocalizeAsync(const std::vector<Key>& keys) {
     }
     const NodeId dst =
         broadcast_reloc ? RemoteDst(k) : ctx_->layout->Home(k);
-    groups[dst].push_back(k);
+    sc.groups.AddKey(dst, k);
   }
 
-  for (auto& [dst_node, group_keys] : groups) {
+  for (const NodeId dst_node : sc.groups.touched()) {
+    const std::vector<Key>& group_keys = sc.groups.KeysOf(dst_node);
     if (broadcast_reloc) {
       // Direct-mail the new location to all uninvolved nodes (Table 3).
       for (const Key k : group_keys) ctx_->owners->SetOwner(k, ctx_->node);
@@ -408,7 +393,7 @@ uint64_t Worker::LocalizeAsync(const std::vector<Key>& keys) {
     m.orig_thread = thread_;
     m.op_id = op;
     m.requester_node = ctx_->node;
-    m.keys = std::move(group_keys);
+    m.keys = sc.groups.TakeKeys(dst_node);
     endpoint_->Send(std::move(m));
   }
 
@@ -419,10 +404,9 @@ uint64_t Worker::LocalizeAsync(const std::vector<Key>& keys) {
 bool Worker::PullIfLocal(Key k, Val* dst) {
   if (!fast_local_) return false;
   if (ctx_->StateOf(k) != KeyState::kOwned) return false;
-  std::lock_guard<std::mutex> latch(ctx_->latches->ForKey(k));
+  std::lock_guard<Latch> latch(ctx_->latches->ForKey(k));
   if (ctx_->StateOf(k) != KeyState::kOwned) return false;
-  std::memcpy(dst, ctx_->store->GetOrCreate(k),
-              ctx_->layout->Length(k) * sizeof(Val));
+  std::memcpy(dst, Slot(k), ctx_->layout->Length(k) * sizeof(Val));
   ctx_->stats.local_key_reads.Add(1);
   return true;
 }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "net/network.h"
+#include "ps/dest_groups.h"
 #include "ps/node_context.h"
 #include "ps/op_tracker.h"
 #include "util/barrier.h"
@@ -99,7 +100,27 @@ class Worker {
   // location cache if enabled and filled, else home / owner view).
   NodeId RemoteDst(Key k) const;
 
+  // True if every key is currently owned here (lock-free pre-check; callers
+  // re-verify under the latches).
+  bool AllOwned(const std::vector<Key>& keys) const;
+
+  // Debug-only contract check: keys within one operation must be distinct.
+  // Compiled out in release builds -- it costs a copy + sort per op.
+#ifndef NDEBUG
   void CheckDistinct(const std::vector<Key>& keys) const;
+#else
+  void CheckDistinct(const std::vector<Key>&) const {}
+#endif
+
+  // Reusable per-op buffers: cleared every operation, never shrunk, so the
+  // hot path performs no heap allocation in steady state. A Worker is owned
+  // by one thread, so plain members suffice.
+  struct Scratch {
+    std::vector<std::pair<Key, size_t>> key_offsets;
+    DestGroups groups;  // destination-grouped send buffers
+    std::vector<Key> broadcast_keys;
+    std::vector<Val> broadcast_vals;
+  };
 
   NodeContext* ctx_;
   ::lapse::Barrier* barrier_;
@@ -110,6 +131,14 @@ class Worker {
   Rng rng_;
   bool fast_local_;
   bool dpa_enabled_;
+  Val* dense_base_;  // non-null iff the node store is dense
+  Scratch scratch_;
+
+  // Slot of key k for fast-path access; devirtualized for dense stores.
+  Val* Slot(Key k) {
+    return dense_base_ ? dense_base_ + ctx_->layout->Offset(k)
+                       : ctx_->store->GetOrCreate(k);
+  }
 };
 
 }  // namespace ps

@@ -48,7 +48,7 @@ class ReplicaStore {
   // observes its own updates; no tag change. No-op if no copy is present.
   void Accumulate(Key k, const Val* update);
 
-  std::mutex& Latch(Key k) { return latches_.ForKey(k); }
+  ps::Latch& Latch(Key k) { return latches_.ForKey(k); }
 
  private:
   const ps::KeyLayout* layout_;

@@ -79,6 +79,11 @@ void SspSystem::Run(const std::function<void(SspWorker&)>& fn) {
     }
   }
   for (auto& t : threads) t.join();
+  // Clock broadcasts and server-sync pushes are fire-and-forget; settle them
+  // before returning so callers observe final replica/stat state.
+  network_.Quiesce([this](NodeId n) {
+    return nodes_[n]->processed_msgs.load(std::memory_order_acquire);
+  });
 }
 
 int32_t SspSystem::GlobalClock(const SspNode& ctx) const {
@@ -117,6 +122,7 @@ void SspSystem::ServerLoop(NodeId node) {
       default:
         LAPSE_LOG(Fatal) << "ssp server got " << msg.DebugString();
     }
+    ctx.processed_msgs.fetch_add(1, std::memory_order_release);
     msg = Message();
   }
 }

@@ -1,6 +1,7 @@
 #ifndef LAPSE_STALE_SSP_SYSTEM_H_
 #define LAPSE_STALE_SSP_SYSTEM_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -76,6 +77,9 @@ struct SspNode {
   std::vector<PendingRead> pending_reads;
 
   std::vector<std::unique_ptr<ps::OpTracker>> trackers;
+
+  // Messages this node's server finished handling; see Network::Quiesce.
+  std::atomic<int64_t> processed_msgs{0};
 
   SspNode(const SspConfig* cfg, const ps::KeyLayout* lay, NodeId n);
 };

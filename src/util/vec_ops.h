@@ -1,0 +1,20 @@
+#ifndef LAPSE_UTIL_VEC_OPS_H_
+#define LAPSE_UTIL_VEC_OPS_H_
+
+#include <cstddef>
+
+#include "net/message.h"
+
+namespace lapse {
+
+// dst[j] += src[j] for j in [0, n). The restrict qualifiers let the
+// compiler vectorize without runtime alias checks; update buffers never
+// alias parameter slots (workers pass their own buffers, servers message
+// payloads).
+inline void AddTo(Val* __restrict dst, const Val* __restrict src, size_t n) {
+  for (size_t j = 0; j < n; ++j) dst[j] += src[j];
+}
+
+}  // namespace lapse
+
+#endif  // LAPSE_UTIL_VEC_OPS_H_
