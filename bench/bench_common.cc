@@ -61,14 +61,14 @@ bool WriteBenchJson(const std::string& path, const std::string& bench_name,
   for (size_t i = 0; i < metrics.size(); ++i) {
     const JsonMetric& m = metrics[i];
     char buf[256];
+    // %.6g keeps rates readable while preserving sub-1.0 metrics
+    // (micro_adaptive records hit *ratios* through the same writer).
     std::snprintf(buf, sizeof(buf),
-                  "    \"%s\": {\"ops_per_sec\": %.1f, "
-                  "\"baseline_ops_per_sec\": %.1f, "
+                  "    \"%s\": {\"value\": %.6g, "
+                  "\"baseline\": %.6g, "
                   "\"speedup_vs_baseline\": %.2f}%s\n",
-                  m.name.c_str(), m.ops_per_sec, m.baseline_ops_per_sec,
-                  m.baseline_ops_per_sec > 0
-                      ? m.ops_per_sec / m.baseline_ops_per_sec
-                      : 0.0,
+                  m.name.c_str(), m.value, m.baseline,
+                  m.baseline > 0 ? m.value / m.baseline : 0.0,
                   i + 1 < metrics.size() ? "," : "");
     out << buf;
   }

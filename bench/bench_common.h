@@ -42,16 +42,19 @@ void PrintBanner(const std::string& title, const std::string& paper_ref,
 double Speedup(double single_node_seconds, double seconds);
 
 // Minimal machine-readable bench output (BENCH_*.json files) so the perf
-// trajectory of the hot path can be tracked across PRs.
+// trajectory can be tracked across PRs. A metric's value is whatever the
+// bench measures -- ops/s for the hot-path benches, a hit ratio or key
+// count for micro_adaptive -- hence the neutral field names.
 struct JsonMetric {
-  std::string name;          // e.g. "local_pull"
-  double ops_per_sec = 0.0;  // measured in this run
-  // Reference number measured on the pre-optimization code of the same PR
-  // that introduced the metric (0 = no baseline recorded).
-  double baseline_ops_per_sec = 0.0;
+  std::string name;     // e.g. "local_pull", "local_hit_ratio"
+  double value = 0.0;   // measured in this run
+  // Reference measurement the value is compared against: the
+  // pre-optimization code of the PR that introduced the metric, or a
+  // baseline configuration of the same run (0 = none recorded).
+  double baseline = 0.0;
 };
 
-// Writes {"bench": name, "metrics": {name: {ops_per_sec, baseline_ops_per_sec,
+// Writes {"bench": name, "metrics": {name: {value, baseline,
 // speedup_vs_baseline}, ...}} to `path`. Returns false (and logs) on I/O
 // failure.
 bool WriteBenchJson(const std::string& path, const std::string& bench_name,

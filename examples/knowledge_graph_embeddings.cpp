@@ -5,15 +5,21 @@
 //   * latency hiding   -- the entity parameters of the *next* data point
 //     are pre-localized so the relocation overlaps computation.
 //
-//   ./examples/knowledge_graph_embeddings
+//   ./examples/knowledge_graph_embeddings          manual PAL techniques
+//   ./examples/knowledge_graph_embeddings --auto-placement
+//     both techniques drop their Localize calls; the adaptive engine
+//     discovers the relation/entity access pattern and relocates instead
 
 #include <cstdio>
+#include <cstring>
 
 #include "kge/kg_gen.h"
 #include "kge/kge_train.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lapse;
+  const bool auto_placement =
+      argc > 1 && std::strcmp(argv[1], "--auto-placement") == 0;
 
   kge::KgGenConfig gen;
   gen.num_entities = 1000;
@@ -36,6 +42,9 @@ int main() {
   ps::Config pscfg = MakeKgePsConfig(kg, cfg, /*num_nodes=*/4,
                                      /*workers_per_node=*/2,
                                      net::LatencyConfig::Lan());
+  pscfg.adaptive.enabled = auto_placement;
+  std::printf("placement: %s\n", auto_placement ? "adaptive engine"
+                                                : "manual Localize()");
   ps::PsSystem system(pscfg);
   InitKgeParams(system, kg, cfg);
 

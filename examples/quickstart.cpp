@@ -46,7 +46,11 @@ int main() {
     }
 
     // --- localize: relocate parameters to this node ---------------------
-    // Subsequent accesses are served from local shared memory.
+    // Subsequent accesses are served from local shared memory. (Manual
+    // localization is one option; with config.adaptive.enabled the
+    // placement engine issues these calls automatically from observed
+    // access patterns -- see the --auto-placement mode of the other
+    // examples.)
     const Key my_key = 100 + static_cast<Key>(w.worker_id());
     w.Localize({my_key});
     w.Pull({my_key}, value.data());  // local now

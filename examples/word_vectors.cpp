@@ -5,15 +5,21 @@
 // (PullIfLocal), trading a slightly perturbed negative distribution for
 // fully local access.
 //
-//   ./examples/word_vectors
+//   ./examples/word_vectors                   manual pre-localization
+//   ./examples/word_vectors --auto-placement  the adaptive engine localizes
+//                                             hot words from observed
+//                                             accesses; no Localize calls
 
 #include <cstdio>
+#include <cstring>
 
 #include "w2v/corpus.h"
 #include "w2v/w2v_train.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lapse;
+  const bool auto_placement =
+      argc > 1 && std::strcmp(argv[1], "--auto-placement") == 0;
 
   w2v::CorpusGenConfig gen;
   gen.vocab_size = 1500;
@@ -39,6 +45,9 @@ int main() {
   ps::Config pscfg = MakeW2vPsConfig(corpus, cfg, /*num_nodes=*/4,
                                      /*workers_per_node=*/2,
                                      net::LatencyConfig::Lan());
+  pscfg.adaptive.enabled = auto_placement;
+  std::printf("placement: %s\n", auto_placement ? "adaptive engine"
+                                                : "manual Localize()");
   ps::PsSystem system(pscfg);
   InitW2vParams(system, corpus, cfg);
 

@@ -1,0 +1,153 @@
+#include "adapt/placement_manager.h"
+
+#include <chrono>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace lapse {
+namespace adapt {
+
+PlacementManager::PlacementManager(ps::NodeContext* ctx,
+                                   net::Network* network)
+    : ctx_(ctx),
+      network_(network),
+      policy_(ctx->config->adaptive, ctx->node) {
+  LAPSE_CHECK(ctx_->access_stats != nullptr)
+      << "PlacementManager needs the node's AccessStats";
+  thread_ = std::thread([this] { Loop(); });
+}
+
+PlacementManager::~PlacementManager() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void PlacementManager::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    active_ = true;
+  }
+  cv_.notify_all();
+}
+
+void PlacementManager::Pause() {
+  std::unique_lock<std::mutex> lock(mu_);
+  active_ = false;
+  cv_.notify_all();
+  cv_.wait(lock, [&] { return parked_ || stop_; });
+}
+
+void PlacementManager::SetReplicationHook(
+    std::function<void(const std::vector<Key>&)> hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  hook_ = std::move(hook);
+}
+
+AdaptStats PlacementManager::stats() const {
+  AdaptStats s;
+  s.ticks = n_ticks_.load(std::memory_order_relaxed);
+  s.samples = n_samples_.load(std::memory_order_relaxed);
+  s.dropped_samples = ctx_->access_stats->TotalDropped();
+  s.localizes_issued = n_localizes_.load(std::memory_order_relaxed);
+  s.evictions_issued = n_evictions_.load(std::memory_order_relaxed);
+  s.replication_flags = n_flags_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::vector<Key> PlacementManager::ReplicationFlagged() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return flagged_;
+}
+
+void PlacementManager::Loop() {
+  // The protocol worker lives on this thread. Slot workers_per_node + 1 is
+  // reserved for it (trackers and rings are sized accordingly); its
+  // worker_id is outside the application range.
+  const ps::Config& cfg = *ctx_->config;
+  worker_ = std::make_unique<ps::Worker>(
+      ctx_, network_, /*barrier=*/nullptr, cfg.workers_per_node + 1,
+      /*global_id=*/cfg.total_workers() + ctx_->node,
+      Mix64(cfg.seed ^ (0xada97ULL + static_cast<uint64_t>(ctx_->node))));
+
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    if (!active_) {
+      // Drain in-flight protocol ops before declaring ourselves parked, so
+      // Pause() doubles as a barrier for everything this manager issued.
+      lock.unlock();
+      worker_->WaitAll();
+      lock.lock();
+      if (stop_ || active_) continue;
+      parked_ = true;
+      cv_.notify_all();
+      cv_.wait(lock, [&] { return stop_ || active_; });
+      parked_ = false;
+      continue;
+    }
+    const auto tick = std::chrono::microseconds(cfg.adaptive.tick_micros);
+    cv_.wait_for(lock, tick, [&] { return stop_ || !active_; });
+    if (stop_ || !active_) continue;
+    lock.unlock();
+    Tick();
+    lock.lock();
+  }
+  lock.unlock();
+  worker_->WaitAll();
+  worker_.reset();
+}
+
+void PlacementManager::Tick() {
+  // Retire the previous tick's localize handles; relocations normally
+  // complete well within one tick, so this seldom blocks.
+  worker_->WaitAll();
+
+  sample_scratch_.clear();
+  const size_t drained = ctx_->access_stats->DrainAll(&sample_scratch_);
+  n_samples_.fetch_add(static_cast<int64_t>(drained),
+                       std::memory_order_relaxed);
+  for (const AccessSample& s : sample_scratch_) {
+    policy_.Record(s.key, s.is_write());
+  }
+
+  decisions_scratch_.localize.clear();
+  decisions_scratch_.evict.clear();
+  decisions_scratch_.replicate.clear();
+  const ps::NodeContext* ctx = ctx_;
+  policy_.Tick(
+      [ctx](Key k) { return ctx->StateOf(k) == ps::KeyState::kOwned; },
+      [ctx](Key k) { return ctx->layout->Home(k); }, &decisions_scratch_);
+  n_ticks_.fetch_add(1, std::memory_order_relaxed);
+
+  if (!decisions_scratch_.localize.empty()) {
+    worker_->LocalizeAsync(decisions_scratch_.localize);
+    n_localizes_.fetch_add(
+        static_cast<int64_t>(decisions_scratch_.localize.size()),
+        std::memory_order_relaxed);
+  }
+  if (!decisions_scratch_.evict.empty()) {
+    const size_t issued = worker_->Evict(decisions_scratch_.evict);
+    n_evictions_.fetch_add(static_cast<int64_t>(issued),
+                           std::memory_order_relaxed);
+  }
+  if (!decisions_scratch_.replicate.empty()) {
+    std::function<void(const std::vector<Key>&)> hook;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      flagged_.insert(flagged_.end(), decisions_scratch_.replicate.begin(),
+                      decisions_scratch_.replicate.end());
+      hook = hook_;
+    }
+    n_flags_.fetch_add(
+        static_cast<int64_t>(decisions_scratch_.replicate.size()),
+        std::memory_order_relaxed);
+    if (hook) hook(decisions_scratch_.replicate);
+  }
+}
+
+}  // namespace adapt
+}  // namespace lapse

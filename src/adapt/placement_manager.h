@@ -1,0 +1,107 @@
+#ifndef LAPSE_ADAPT_PLACEMENT_MANAGER_H_
+#define LAPSE_ADAPT_PLACEMENT_MANAGER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "adapt/access_stats.h"
+#include "adapt/placement_policy.h"
+#include "net/network.h"
+#include "ps/node_context.h"
+#include "ps/worker.h"
+
+namespace lapse {
+namespace adapt {
+
+// Aggregate counters of one node's placement manager (monitoring only).
+struct AdaptStats {
+  int64_t ticks = 0;
+  int64_t samples = 0;          // samples drained from the worker rings
+  int64_t dropped_samples = 0;  // ring overflows (manager fell behind)
+  int64_t localizes_issued = 0;
+  int64_t evictions_issued = 0;
+  int64_t replication_flags = 0;
+};
+
+// Per-node background thread that makes relocation automatic: drains the
+// workers' sample rings, feeds the PlacementPolicy, and acts on its
+// decisions -- LocalizeAsync for hot remote keys, Evict for keys gone
+// cold, and the replication hook for contended read-mostly keys.
+//
+// The manager issues protocol operations through its own ps::Worker on a
+// dedicated thread slot (workers_per_node + 1), so its localizes ride the
+// exact same relocation protocol, deferral queues, and trackers as
+// application localizes.
+//
+// Lifecycle: constructed paused (acting on an idle system would only
+// evict). PsSystem::Run resumes all managers while workers run and pauses
+// them (draining their in-flight operations) before it quiesces the
+// network, so Run()'s settled-stats guarantee still holds.
+class PlacementManager {
+ public:
+  PlacementManager(ps::NodeContext* ctx, net::Network* network);
+  ~PlacementManager();
+
+  PlacementManager(const PlacementManager&) = delete;
+  PlacementManager& operator=(const PlacementManager&) = delete;
+
+  // Starts acting (idempotent).
+  void Resume();
+
+  // Blocks until the manager is parked between ticks with no outstanding
+  // protocol operations (idempotent).
+  void Pause();
+
+  // Installs the replication hook: called from the manager thread with
+  // every batch of newly flagged contended read-mostly keys. Typical use
+  // pins the keys into a stale::ReplicaStore. Call before Resume().
+  void SetReplicationHook(std::function<void(const std::vector<Key>&)> hook);
+
+  AdaptStats stats() const;
+
+  // Every key flagged for replication so far, in flag order.
+  std::vector<Key> ReplicationFlagged() const;
+
+  NodeId node() const { return ctx_->node; }
+
+ private:
+  void Loop();
+  void Tick();
+
+  ps::NodeContext* ctx_;
+  net::Network* network_;
+  PlacementPolicy policy_;
+  std::function<void(const std::vector<Key>&)> hook_;
+
+  // The manager's protocol worker; created and destroyed on the manager
+  // thread (a Worker is owned by exactly one thread).
+  std::unique_ptr<ps::Worker> worker_;
+
+  std::vector<AccessSample> sample_scratch_;
+  Decisions decisions_scratch_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool active_ = false;  // guarded by mu_
+  bool parked_ = false;  // guarded by mu_: thread is idle and drained
+  bool stop_ = false;    // guarded by mu_
+  std::vector<Key> flagged_;  // guarded by mu_
+
+  std::atomic<int64_t> n_ticks_{0};
+  std::atomic<int64_t> n_samples_{0};
+  std::atomic<int64_t> n_localizes_{0};
+  std::atomic<int64_t> n_evictions_{0};
+  std::atomic<int64_t> n_flags_{0};
+
+  std::thread thread_;
+};
+
+}  // namespace adapt
+}  // namespace lapse
+
+#endif  // LAPSE_ADAPT_PLACEMENT_MANAGER_H_

@@ -1,0 +1,141 @@
+#include "adapt/placement_policy.h"
+
+namespace lapse {
+namespace adapt {
+
+const char* KeyClassName(KeyClass c) {
+  switch (c) {
+    case KeyClass::kCold:
+      return "cold";
+    case KeyClass::kHotLocal:
+      return "hot-local";
+    case KeyClass::kHotRemote:
+      return "hot-remote";
+    case KeyClass::kContended:
+      return "contended";
+  }
+  return "?";
+}
+
+PlacementPolicy::PlacementPolicy(const ps::AdaptiveConfig& config,
+                                 NodeId node)
+    : config_(config), node_(node) {}
+
+void PlacementPolicy::Record(Key k, bool is_write) {
+  KeyStat& s = stats_[k];
+  if (is_write) {
+    s.writes += 1.0f;
+  } else {
+    s.reads += 1.0f;
+  }
+}
+
+KeyClass PlacementPolicy::Classify(Key k, bool owned) const {
+  auto it = stats_.find(k);
+  const double score =
+      it == stats_.end()
+          ? 0.0
+          : static_cast<double>(it->second.reads + it->second.writes);
+  if (score < config_.hot_threshold) return KeyClass::kCold;
+  if (owned) return KeyClass::kHotLocal;
+  if (it->second.churn >= config_.churn_limit) return KeyClass::kContended;
+  return KeyClass::kHotRemote;
+}
+
+double PlacementPolicy::Score(Key k) const {
+  auto it = stats_.find(k);
+  return it == stats_.end()
+             ? 0.0
+             : static_cast<double>(it->second.reads + it->second.writes);
+}
+
+void PlacementPolicy::Tick(const std::function<bool(Key)>& owned,
+                           const std::function<NodeId(Key)>& home,
+                           Decisions* out) {
+  ++ticks_;
+  const bool forgive_churn = (ticks_ % config_.churn_forget_ticks) == 0;
+  const float decay = static_cast<float>(config_.decay);
+
+  for (auto it = stats_.begin(); it != stats_.end();) {
+    const Key k = it->first;
+    KeyStat& s = it->second;
+    const bool own = owned(k);
+    const double score = static_cast<double>(s.reads + s.writes);
+
+    // Churn: we held the key and lost it while it was still warm -- some
+    // other node relocated it away. Checked against the *pre-settlement*
+    // evicting flag: a hand-over we initiated ourselves must not count,
+    // even on the very tick that observes it done.
+    if (s.was_owned && !own && !s.evicting &&
+        score >= config_.cold_threshold) {
+      if (s.churn < 255) ++s.churn;
+    }
+    if (forgive_churn && s.churn > 0) --s.churn;
+    s.was_owned = own;
+
+    // Settle in-flight transitions against the observed ownership. A
+    // localize is considered answered once ownership shows up; if it never
+    // does within kRequestRetryTicks (the key was relocated here and
+    // stolen again between two ticks, or the request was lost to a
+    // conflict), drop the marker so the key can be re-requested -- without
+    // this, one fast steal would silently retire the node from the
+    // contest forever.
+    if (s.requested) {
+      if (own || ++s.requested_ticks >= kRequestRetryTicks) {
+        s.requested = false;
+        s.requested_ticks = 0;
+      }
+    }
+    if (s.evicting && !own) s.evicting = false;
+
+    if (own) {
+      // Eviction with hysteresis: an owned key whose home is elsewhere must
+      // score cold for cold_ticks_to_evict consecutive ticks before it is
+      // handed back; one warm tick resets the countdown.
+      if (score < config_.cold_threshold && home(k) != node_) {
+        if (!s.evicting && ++s.cold_ticks >=
+                               static_cast<uint16_t>(
+                                   config_.cold_ticks_to_evict)) {
+          out->evict.push_back(k);
+          s.evicting = true;
+          s.cold_ticks = 0;
+        }
+      } else {
+        s.cold_ticks = 0;
+      }
+    } else {
+      s.cold_ticks = 0;
+      if (score >= config_.hot_threshold && !s.requested && !s.evicting) {
+        if (s.churn >= config_.churn_limit) {
+          // Contended: relocating keeps ping-ponging. Stop localizing; if
+          // the key is read-mostly, flag it for replica pinning (once).
+          const double read_fraction =
+              score <= 0.0 ? 0.0 : static_cast<double>(s.reads) / score;
+          if (!s.flagged &&
+              read_fraction >= config_.replicate_read_fraction) {
+            s.flagged = true;
+            out->replicate.push_back(k);
+          }
+        } else if (out->localize.size() < config_.max_localizes_per_tick) {
+          out->localize.push_back(k);
+          s.requested = true;
+        }
+      }
+    }
+
+    // Close the window: decay, and retire entries with nothing left to
+    // remember. Owned keys are kept tracked regardless of score -- their
+    // entry is what drives the eventual eviction.
+    s.reads *= decay;
+    s.writes *= decay;
+    if (!own && !s.requested && !s.evicting && !s.flagged && s.churn == 0 &&
+        static_cast<double>(s.reads + s.writes) < kEpsilon) {
+      it = stats_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace adapt
+}  // namespace lapse

@@ -1,0 +1,100 @@
+#ifndef LAPSE_ADAPT_PLACEMENT_POLICY_H_
+#define LAPSE_ADAPT_PLACEMENT_POLICY_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/message.h"
+#include "ps/config.h"
+
+namespace lapse {
+namespace adapt {
+
+// What one node's policy currently believes about a key.
+enum class KeyClass {
+  kCold,       // not enough recent accesses to justify any action
+  kHotLocal,   // hot and owned here: keep
+  kHotRemote,  // hot but owned elsewhere: localize candidate
+  kContended,  // hot remote, but relocating it keeps ping-ponging
+};
+
+const char* KeyClassName(KeyClass c);
+
+// Placement actions one Tick() decided on. Keys appear at most once across
+// the three lists.
+struct Decisions {
+  std::vector<Key> localize;   // request relocation to this node
+  std::vector<Key> evict;      // hand back to the home node
+  std::vector<Key> replicate;  // newly flagged contended read-mostly keys
+};
+
+// Per-node placement policy: decaying per-key access scores, hot/cold
+// classification with hysteresis, and ping-pong (churn) detection.
+//
+// Pure bookkeeping -- no threads, no I/O. The manager drives it:
+//
+//   for each drained sample: policy.Record(key, is_write);
+//   policy.Tick(owned_fn, home_fn, &decisions);
+//
+// Ownership is read through callbacks at tick time so the policy never
+// holds a stale view longer than one tick. The policy trusts the manager
+// to actually issue the decided operations: a key decided for localize is
+// marked requested and not re-decided until ownership is observed (or the
+// score decays away); likewise for evictions. That is what makes
+// policy-driven relocation idempotent across ticks.
+class PlacementPolicy {
+ public:
+  PlacementPolicy(const ps::AdaptiveConfig& config, NodeId node);
+
+  // Accounts one sampled access of key k by a local worker.
+  void Record(Key k, bool is_write);
+
+  // Closes the current window: classifies every tracked key against the
+  // ownership view, emits decisions, then decays all scores.
+  void Tick(const std::function<bool(Key)>& owned,
+            const std::function<NodeId(Key)>& home, Decisions* out);
+
+  // Classification of key k under the current (pre-decay) scores.
+  KeyClass Classify(Key k, bool owned) const;
+
+  // Decayed access score of key k (reads + writes), 0 if untracked.
+  double Score(Key k) const;
+
+  size_t tracked_keys() const { return stats_.size(); }
+  int64_t ticks() const { return ticks_; }
+
+ private:
+  struct KeyStat {
+    float reads = 0;
+    float writes = 0;
+    // Consecutive ticks this owned-away-from-home key scored cold.
+    uint16_t cold_ticks = 0;
+    // Ticks spent waiting for an issued localize to show up as ownership.
+    uint8_t requested_ticks = 0;
+    // Times the key was taken away from us while still warm.
+    uint8_t churn = 0;
+    bool requested = false;  // localize issued; awaiting ownership
+    bool evicting = false;   // eviction issued; awaiting hand-over
+    bool was_owned = false;  // owned at the end of the previous tick
+    bool flagged = false;    // replication flag already emitted (sticky)
+  };
+
+  // Scores below this are treated as zero (entry becomes collectable).
+  static constexpr double kEpsilon = 0.01;
+  // Ticks an unanswered localize request stays sticky before the key may
+  // be re-requested (relocations complete well within one manager tick;
+  // the slack covers queued conflicts).
+  static constexpr uint8_t kRequestRetryTicks = 3;
+
+  ps::AdaptiveConfig config_;
+  NodeId node_;
+  int64_t ticks_ = 0;
+  std::unordered_map<Key, KeyStat> stats_;
+};
+
+}  // namespace adapt
+}  // namespace lapse
+
+#endif  // LAPSE_ADAPT_PLACEMENT_POLICY_H_

@@ -163,6 +163,11 @@ std::vector<KgeEpochResult> TrainKge(ps::PsSystem& system,
   const size_t rel_len = shared_model->relation_dim();
   EpochAccumulator acc(config.epochs);
 
+  // With the adaptive placement engine on, both PAL techniques drop their
+  // manual Localize calls (the triple partition is kept): the engine
+  // relocates relation and entity parameters from observed accesses.
+  const bool auto_placement = system.config().adaptive.enabled;
+
   system.Run([&](ps::Worker& w) {
     auto model = MakeKgeModel(config);
     const int wid = w.worker_id();
@@ -171,7 +176,8 @@ std::vector<KgeEpochResult> TrainKge(ps::PsSystem& system,
     // Data clustering: the first worker of each node pins the node's
     // relation parameters (Appendix A: "allocated each relation parameter
     // at the node that uses it").
-    if (config.data_clustering && wid % workers_per_node == 0) {
+    if (config.data_clustering && !auto_placement &&
+        wid % workers_per_node == 0) {
       std::vector<Key> rel_keys;
       for (uint32_t r = 0; r < kg.num_relations; ++r) {
         if (node_of_relation[r] == w.node()) {
@@ -199,7 +205,7 @@ std::vector<KgeEpochResult> TrainKge(ps::PsSystem& system,
           config.lookahead < 1 ? 1 : static_cast<size_t>(config.lookahead);
       // Latency hiding: pre-localize the first `lookahead` data points, then
       // keep the pipeline `lookahead` deep.
-      if (config.latency_hiding) {
+      if (config.latency_hiding && !auto_placement) {
         for (size_t ti = 0; ti < lookahead && ti < mine.size(); ++ti) {
           const Triple& t = kg.triples[mine[ti]];
           w.LocalizeAsync(TripleKeys(kg, config, t, mine[ti],
@@ -212,7 +218,8 @@ std::vector<KgeEpochResult> TrainKge(ps::PsSystem& system,
 
         // Latency hiding: pre-localize a future data point's parameters so
         // the relocation overlaps the computation of the points in between.
-        if (config.latency_hiding && ti + lookahead < mine.size()) {
+        if (config.latency_hiding && !auto_placement &&
+            ti + lookahead < mine.size()) {
           const Triple& next = kg.triples[mine[ti + lookahead]];
           w.LocalizeAsync(TripleKeys(kg, config, next, mine[ti + lookahead],
                                      /*include_relation=*/

@@ -91,12 +91,17 @@ std::vector<EpochResult> TrainDsgdOnPs(ps::PsSystem& system,
   EpochAccumulator acc(config.epochs);
   const int rank = config.rank;
 
+  // Manual localization is skipped when the adaptive placement engine is
+  // on -- the engine observes the access pattern and relocates on its own.
+  const bool manual_localize =
+      config.use_localize && !system.config().adaptive.enabled;
+
   system.Run([&](ps::Worker& w) {
     const int wid = w.worker_id();
 
     // Rows are partitioned statically: relocate them once (data
     // clustering on the row side).
-    if (config.use_localize) {
+    if (manual_localize) {
       std::vector<Key> row_keys;
       for (uint64_t r = schedule.RowBegin(wid); r < schedule.RowEnd(wid);
            ++r) {
@@ -116,7 +121,7 @@ std::vector<EpochResult> TrainDsgdOnPs(ps::PsSystem& system,
       int64_t n = 0;
       for (int sub = 0; sub < schedule.num_blocks(); ++sub) {
         const int block = schedule.BlockForWorker(wid, sub);
-        if (config.use_localize) {
+        if (manual_localize) {
           std::vector<Key> col_keys;
           for (uint64_t c = schedule.BlockBegin(block);
                c < schedule.BlockEnd(block); ++c) {

@@ -41,16 +41,73 @@ const char* StorageKindName(StorageKind k) {
   return "?";
 }
 
-void Config::Normalize() {
-  LAPSE_CHECK_GT(num_nodes, 0);
-  LAPSE_CHECK_GT(workers_per_node, 0);
+void Config::Validate() const {
+  LAPSE_CHECK_GT(num_nodes, 0)
+      << "Config: num_nodes must be positive (a deployment needs at least "
+         "one node)";
+  LAPSE_CHECK_GT(workers_per_node, 0)
+      << "Config: workers_per_node must be positive";
   if (value_lengths.empty()) {
-    LAPSE_CHECK_GT(num_keys, 0u);
-    LAPSE_CHECK_GT(uniform_value_length, 0u);
+    LAPSE_CHECK_GT(num_keys, 0u)
+        << "Config: num_keys is 0 and value_lengths is empty -- the key "
+           "space must be non-empty";
+    LAPSE_CHECK_GT(uniform_value_length, 0u)
+        << "Config: uniform_value_length must be positive";
   } else {
+    for (size_t i = 0; i < value_lengths.size(); ++i) {
+      LAPSE_CHECK_GT(value_lengths[i], 0u)
+          << "Config: value_lengths[" << i << "] must be positive";
+    }
+  }
+  LAPSE_CHECK_GT(num_latches, 0u) << "Config: num_latches must be positive";
+
+  if (adaptive.enabled) {
+    LAPSE_CHECK(arch == Architecture::kLapse)
+        << "Config: the adaptive placement engine needs dynamic parameter "
+           "allocation (Architecture::kLapse); got "
+        << ArchitectureName(arch);
+    LAPSE_CHECK(strategy == LocationStrategy::kHomeNode)
+        << "Config: the adaptive placement engine supports only the "
+           "home-node location strategy (relocation + eviction); got "
+        << LocationStrategyName(strategy);
+    LAPSE_CHECK_GE(adaptive.sample_period, 1u)
+        << "Config: adaptive.sample_period must be >= 1 (record every Nth "
+           "operation)";
+    LAPSE_CHECK_GT(adaptive.tick_micros, 0)
+        << "Config: adaptive.tick_micros must be positive";
+    LAPSE_CHECK(adaptive.decay > 0.0 && adaptive.decay < 1.0)
+        << "Config: adaptive.decay must be in (0, 1); got "
+        << adaptive.decay;
+    LAPSE_CHECK_GE(adaptive.cold_threshold, 0.0)
+        << "Config: adaptive.cold_threshold must be >= 0";
+    LAPSE_CHECK_GT(adaptive.hot_threshold, adaptive.cold_threshold)
+        << "Config: adaptive.hot_threshold must exceed cold_threshold "
+           "(the gap is the flap-prevention band)";
+    LAPSE_CHECK_GE(adaptive.cold_ticks_to_evict, 1)
+        << "Config: adaptive.cold_ticks_to_evict must be >= 1";
+    LAPSE_CHECK_LE(adaptive.cold_ticks_to_evict, 65535)
+        << "Config: adaptive.cold_ticks_to_evict must fit the policy's "
+           "16-bit hysteresis counter";
+    LAPSE_CHECK_GE(adaptive.churn_limit, 1)
+        << "Config: adaptive.churn_limit must be >= 1";
+    LAPSE_CHECK_LE(adaptive.churn_limit, 255)
+        << "Config: adaptive.churn_limit must fit the policy's 8-bit churn "
+           "counter";
+    LAPSE_CHECK_GE(adaptive.churn_forget_ticks, 1)
+        << "Config: adaptive.churn_forget_ticks must be >= 1";
+    LAPSE_CHECK(adaptive.replicate_read_fraction >= 0.0 &&
+                adaptive.replicate_read_fraction <= 1.0)
+        << "Config: adaptive.replicate_read_fraction must be in [0, 1]";
+    LAPSE_CHECK_GE(adaptive.max_localizes_per_tick, 1u)
+        << "Config: adaptive.max_localizes_per_tick must be >= 1";
+  }
+}
+
+void Config::Normalize() {
+  if (!value_lengths.empty()) {
     num_keys = value_lengths.size();
   }
-  LAPSE_CHECK_GT(num_latches, 0u);
+  Validate();
 
   if (arch != Architecture::kLapse) {
     // Static allocation: localize is a no-op; strategy degenerates.

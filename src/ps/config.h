@@ -38,6 +38,46 @@ const char* ArchitectureName(Architecture a);
 const char* LocationStrategyName(LocationStrategy s);
 const char* StorageKindName(StorageKind k);
 
+// Knobs of the adaptive placement engine (src/adapt): each node samples its
+// workers' accesses, aggregates them over decaying windows, and relocates
+// parameters automatically -- hot remote keys are localized, keys gone cold
+// are evicted back to their home node, and contended read-mostly keys are
+// flagged for replication. Requires Architecture::kLapse with the home-node
+// strategy (relocation and eviction ride the standard protocol).
+struct AdaptiveConfig {
+  bool enabled = false;
+  // Workers record the keys of every sample_period-th pull/push operation.
+  uint32_t sample_period = 8;
+  // Capacity of each worker's sample ring (rounded up to a power of two).
+  // When the manager falls behind, excess samples are dropped, not blocked.
+  size_t ring_capacity = 8192;
+  // Interval between placement-manager ticks (drain + classify + act).
+  int64_t tick_micros = 500;
+  // Multiplicative per-tick decay of per-key access scores, in (0, 1).
+  // Smaller = shorter memory = faster reaction and faster eviction.
+  double decay = 0.6;
+  // Decayed score at/above which a key counts as hot. Hot remote keys are
+  // localize candidates; hot local keys are kept.
+  double hot_threshold = 4.0;
+  // Decayed score below which an owned away-from-home key counts as cold
+  // (an eviction candidate). Must be < hot_threshold; the gap between the
+  // two thresholds is what prevents localize/evict flapping.
+  double cold_threshold = 0.5;
+  // Consecutive cold ticks before an eviction is actually issued.
+  int cold_ticks_to_evict = 3;
+  // How many times a still-warm key may be taken away from this node after
+  // we localized it before it is classified contended (stop relocating).
+  int churn_limit = 3;
+  // Every churn_forget_ticks ticks one unit of churn is forgiven, so
+  // contended keys are eventually retried.
+  int churn_forget_ticks = 64;
+  // Read fraction at/above which a contended key is flagged for pinning
+  // into a replica store (see PlacementManager::SetReplicationHook).
+  double replicate_read_fraction = 0.9;
+  // Cap on localize requests issued per node per tick.
+  size_t max_localizes_per_tick = 1024;
+};
+
 // Configuration of a PS instance (simulated cluster + engine behaviour).
 struct Config {
   int num_nodes = 4;
@@ -58,10 +98,17 @@ struct Config {
   net::LatencyConfig latency = net::LatencyConfig::Lan();
   uint64_t seed = 1;
 
+  AdaptiveConfig adaptive;
+
   // Normalizes dependent options (classic architectures force the static
-  // partition strategy and disable caches) and validates ranges. Dies on
-  // invalid configurations.
+  // partition strategy and disable caches) and validates ranges. Dies with
+  // a clear message on invalid configurations -- bad configs fail here, not
+  // as crashes deep in system setup.
   void Normalize();
+
+  // Range/consistency checks only (called by Normalize; exposed so tests
+  // can exercise validation without the normalization side effects).
+  void Validate() const;
 
   int total_workers() const { return num_nodes * workers_per_node; }
 };

@@ -9,6 +9,7 @@
 #include <variant>
 #include <vector>
 
+#include "adapt/access_stats.h"
 #include "net/message.h"
 #include "net/network.h"
 #include "ps/config.h"
@@ -70,6 +71,9 @@ struct ServerStats {
   // the moment the first operation was queued (or the transfer arrival if
   // nothing queued) -- approximates the paper's blocking-time notion.
   Counter localization_conflicts;  // transfers of keys some other node took
+  // Keys that returned to this node (their home) via an eviction issued by
+  // some node's placement manager or Worker::Evict.
+  Counter evictions_received;
   // Per-message-type lag between simulated delivery time and actual
   // processing start at the server (diagnoses server backlog).
   Counter backlog_ns[static_cast<size_t>(net::MsgType::kNumTypes)];
@@ -81,6 +85,7 @@ struct ServerStats {
     queued_local_ops.Reset();
     relocations.Reset();
     localization_conflicts.Reset();
+    evictions_received.Reset();
     for (auto& b : backlog_ns) b.Reset();
   }
 };
@@ -96,6 +101,9 @@ struct NodeContext {
   std::vector<std::atomic<uint8_t>> key_state;  // KeyState per key
   std::unique_ptr<LocationTable> owners;
   std::unique_ptr<LocationCache> cache;  // null unless enabled
+  // Sample rings of the adaptive placement engine, one per thread slot
+  // (null unless config.adaptive.enabled).
+  std::unique_ptr<adapt::AccessStats> access_stats;
 
   // Sharded by key to keep worker queueing and server draining off one
   // mutex.

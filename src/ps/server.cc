@@ -265,6 +265,23 @@ void Server::HandleLocalize(Message& msg) {
     // Update the location immediately; subsequent accesses arriving at the
     // home are routed to the requester from now on (§3.2, message 1).
     ctx_->owners->SetOwner(k, requester);
+    if (requester == ctx_->node) {
+      // Self-directed localize (an eviction, or a hand-over the home asked
+      // for). A remote requester marked the key kArriving on its own node
+      // before sending; the home must do the same here, otherwise the
+      // window until the transfer lands has owner-view == self with state
+      // kNotOwned, and a concurrent localize by another node would be
+      // instructed against a key we do not hold yet (fatal). With the
+      // mark, that instruct queues on the arrival queue and chains off
+      // DrainArrived like any mid-relocation hand-over.
+      std::lock_guard<Latch> latch(ctx_->latches->ForKey(k));
+      if (ctx_->StateOf(k) == KeyState::kNotOwned) {
+        ctx_->SetState(k, KeyState::kArriving);
+        NodeContext::ArrivingShard& shard = ctx_->ArrivingShardFor(k);
+        std::lock_guard<std::mutex> lock(shard.mu);
+        shard.map.try_emplace(k);
+      }
+    }
     groups_.AddKey(current, k);
   }
 
@@ -340,8 +357,11 @@ void Server::HandleTransfer(Message& msg) {
   LAPSE_CHECK_EQ(msg.orig_node, ctx_->node)
       << "transfer must arrive at the requester";
   OpTracker& tracker = ctx_->TrackerFor(msg.orig_thread);
+  // op_id == kImmediate marks an eviction: the home (this node) takes the
+  // key back without any worker op waiting on it.
+  const bool eviction = (msg.op_id == OpTracker::kImmediate);
   const int64_t now = NowNanos();
-  const int64_t issue = tracker.IssueNs(msg.op_id);
+  const int64_t issue = eviction ? 0 : tracker.IssueNs(msg.op_id);
   const int64_t rt = issue > 0 ? now - issue : 0;
 
   size_t val_off = 0;
@@ -356,7 +376,11 @@ void Server::HandleTransfer(Message& msg) {
     val_off += len;
     ctx_->SetState(k, KeyState::kOwned);
     if (ctx_->cache) ctx_->cache->Update(k, ctx_->node);
-    ctx_->stats.relocations.Add(rt);
+    if (eviction) {
+      ctx_->stats.evictions_received.Add(1);
+    } else {
+      ctx_->stats.relocations.Add(rt);
+    }
     DrainArrived(k);
   }
   // All keys of one transfer belong to the same localize op: complete them

@@ -44,9 +44,15 @@ PsSystem::PsSystem(Config config)
     if (config_.location_caches) {
       ctx->cache = std::make_unique<LocationCache>(layout_.num_keys());
     }
-    ctx->trackers.reserve(config_.workers_per_node + 1);
-    for (int t = 0; t <= config_.workers_per_node; ++t) {
+    // Slots: 0 = server, 1..W = workers, W+1 = the placement manager's
+    // protocol worker (allocated unconditionally; it is one empty tracker).
+    ctx->trackers.reserve(config_.workers_per_node + 2);
+    for (int t = 0; t <= config_.workers_per_node + 1; ++t) {
       ctx->trackers.push_back(std::make_unique<OpTracker>());
+    }
+    if (config_.adaptive.enabled) {
+      ctx->access_stats = std::make_unique<adapt::AccessStats>(
+          config_.workers_per_node + 2, config_.adaptive.ring_capacity);
     }
     nodes_.push_back(std::move(ctx));
   }
@@ -58,14 +64,37 @@ PsSystem::PsSystem(Config config)
   for (NodeId n = 0; n < config_.num_nodes; ++n) {
     server_threads_.emplace_back([this, n] { servers_[n]->Run(); });
   }
+  if (config_.adaptive.enabled) {
+    managers_.reserve(config_.num_nodes);
+    for (NodeId n = 0; n < config_.num_nodes; ++n) {
+      managers_.push_back(std::make_unique<adapt::PlacementManager>(
+          nodes_[n].get(), &network_));
+    }
+  }
 }
 
 PsSystem::~PsSystem() {
+  // Managers first: stopping them drains their in-flight relocations,
+  // which needs the servers still running.
+  managers_.clear();
   network_.Shutdown();
   for (auto& t : server_threads_) t.join();
 }
 
+void PsSystem::SetReplicationHook(
+    std::function<void(NodeId, const std::vector<Key>&)> hook) {
+  for (auto& m : managers_) {
+    const NodeId n = m->node();
+    m->SetReplicationHook(
+        [hook, n](const std::vector<Key>& keys) { hook(n, keys); });
+  }
+}
+
 void PsSystem::Run(const std::function<void(Worker&)>& fn) {
+  // The placement managers act only while workers run: on an idle system
+  // the decaying stats would only issue evictions, and SetValue/GetValue
+  // between phases rely on placement being stable.
+  for (auto& m : managers_) m->Resume();
   std::vector<std::thread> threads;
   threads.reserve(config_.total_workers());
   for (NodeId n = 0; n < config_.num_nodes; ++n) {
@@ -83,9 +112,13 @@ void PsSystem::Run(const std::function<void(Worker&)>& fn) {
     }
   }
   for (auto& t : threads) t.join();
+  // Park the managers (draining their tracked relocations) before
+  // quiescing: Quiesce requires that nobody keeps injecting messages.
+  for (auto& m : managers_) m->Pause();
   // Workers waited for all *tracked* ops, but fire-and-forget messages
-  // (location updates, trailing forwards) may still be in flight; drain them
-  // so stats and ownership views are settled when Run() returns.
+  // (location updates, evictions, trailing forwards) may still be in
+  // flight; drain them so stats and ownership views are settled when
+  // Run() returns.
   network_.Quiesce([this](NodeId n) {
     return nodes_[n]->processed_msgs.load(std::memory_order_acquire);
   });

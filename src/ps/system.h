@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "adapt/placement_manager.h"
 #include "net/network.h"
 #include "ps/config.h"
 #include "ps/key_layout.h"
@@ -64,6 +65,18 @@ class PsSystem {
   ServerStats& node_stats(NodeId n) { return nodes_[n]->stats; }
   NodeContext& node_context(NodeId n) { return *nodes_[n]; }
 
+  // --- adaptive placement engine (config.adaptive.enabled) --------------
+  bool adaptive_enabled() const { return !managers_.empty(); }
+  // Valid only when adaptive_enabled().
+  adapt::PlacementManager& placement_manager(NodeId n) {
+    return *managers_[n];
+  }
+  // Installs the replication hook on every node's manager; called from the
+  // manager threads with (node, newly flagged keys). No-op when the engine
+  // is disabled. Install before Run().
+  void SetReplicationHook(
+      std::function<void(NodeId, const std::vector<Key>&)> hook);
+
   // Sums a field over all nodes.
   int64_t TotalLocalReads() const;
   int64_t TotalRemoteReads() const;
@@ -82,6 +95,8 @@ class PsSystem {
   std::vector<std::unique_ptr<NodeContext>> nodes_;
   std::vector<std::unique_ptr<Server>> servers_;
   std::vector<std::thread> server_threads_;
+  // Empty unless config.adaptive.enabled. Paused outside Run() phases.
+  std::vector<std::unique_ptr<adapt::PlacementManager>> managers_;
 };
 
 }  // namespace ps

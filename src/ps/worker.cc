@@ -31,6 +31,14 @@ Worker::Worker(NodeContext* ctx, net::Network* network,
        (ctx_->config->strategy == LocationStrategy::kHomeNode ||
         ctx_->config->strategy == LocationStrategy::kBroadcastRelocations));
   dense_base_ = ctx_->store->DenseBase();
+  if (ctx_->access_stats != nullptr) {
+    sample_ring_ = ctx_->access_stats->Ring(thread_slot);
+    sample_period_ = ctx_->config->adaptive.sample_period;
+    // Stagger the first sample across workers so they don't record in
+    // lockstep.
+    sample_countdown_ =
+        1 + static_cast<uint32_t>(global_id) % sample_period_;
+  }
   scratch_.groups.Resize(static_cast<size_t>(ctx_->layout->num_nodes()));
 }
 
@@ -48,11 +56,13 @@ void Worker::CheckDistinct(const std::vector<Key>& keys) const {
 }
 #endif
 
-bool Worker::AllOwned(const std::vector<Key>& keys) const {
+void Worker::RecordAccessSample(const std::vector<Key>& keys,
+                                bool is_write) {
   for (const Key k : keys) {
-    if (ctx_->StateOf(k) != KeyState::kOwned) return false;
+    sample_ring_->TryPush(
+        {k, adapt::SampleFlags(is_write,
+                               ctx_->StateOf(k) == KeyState::kOwned)});
   }
-  return true;
 }
 
 NodeId Worker::RemoteDst(Key k) const {
@@ -78,6 +88,7 @@ NodeId Worker::RemoteDst(Key k) const {
 
 uint64_t Worker::PullAsync(const std::vector<Key>& keys, Val* dst) {
   CheckDistinct(keys);
+  if (SampleThisOp()) RecordAccessSample(keys, /*is_write=*/false);
   const KeyLayout& layout = *ctx_->layout;
 
   // Fast path (shared-memory access, §3.3): optimistically serve each key
@@ -199,6 +210,7 @@ uint64_t Worker::PullAsync(const std::vector<Key>& keys, Val* dst) {
 uint64_t Worker::PushAsync(const std::vector<Key>& keys,
                            const Val* updates) {
   CheckDistinct(keys);
+  if (SampleThisOp()) RecordAccessSample(keys, /*is_write=*/true);
   const KeyLayout& layout = *ctx_->layout;
 
   // Fast path: optimistic per-key application under the key's own latch
@@ -327,14 +339,25 @@ uint64_t Worker::PushAsync(const std::vector<Key>& keys,
 
 uint64_t Worker::LocalizeAsync(const std::vector<Key>& keys) {
   if (!dpa_enabled_) return kImmediate;
-  CheckDistinct(keys);
 
-  // Fast path: every key already owned here -- localize is a no-op.
-  if (AllOwned(keys)) return kImmediate;
-
+  // Unlike pull/push, localize accepts duplicates: dedupe and drop keys
+  // this node already owns in a lock-free pre-pass, so repeated requests
+  // (latency-hiding trainers, the adaptive placement engine) cost nothing
+  // when the keys are already here. Survivors are re-verified under their
+  // latches below.
   Scratch& sc = scratch_;
+  sc.localize_keys.clear();
+  for (const Key k : keys) {
+    if (ctx_->StateOf(k) != KeyState::kOwned) sc.localize_keys.push_back(k);
+  }
+  if (sc.localize_keys.empty()) return kImmediate;
+  std::sort(sc.localize_keys.begin(), sc.localize_keys.end());
+  sc.localize_keys.erase(
+      std::unique(sc.localize_keys.begin(), sc.localize_keys.end()),
+      sc.localize_keys.end());
+
   sc.key_offsets.clear();
-  for (const Key k : keys) sc.key_offsets.emplace_back(k, 0);
+  for (const Key k : sc.localize_keys) sc.key_offsets.emplace_back(k, 0);
   const uint64_t op = tracker_->Create(nullptr, sc.key_offsets, NowNanos());
 
   size_t inline_done = 0;
@@ -342,7 +365,7 @@ uint64_t Worker::LocalizeAsync(const std::vector<Key>& keys) {
   const bool broadcast_reloc =
       ctx_->config->strategy == LocationStrategy::kBroadcastRelocations;
 
-  for (const Key k : keys) {
+  for (const Key k : sc.localize_keys) {
     std::lock_guard<Latch> latch(ctx_->latches->ForKey(k));
     const KeyState state = ctx_->StateOf(k);
     if (state == KeyState::kOwned) {
@@ -401,9 +424,64 @@ uint64_t Worker::LocalizeAsync(const std::vector<Key>& keys) {
   return op;
 }
 
+size_t Worker::Evict(const std::vector<Key>& keys) {
+  // Eviction synthesizes a localize on behalf of the key's home node: the
+  // home receives a kLocalize with requester == home, flips its owner view
+  // back to itself, and instructs this node to hand the key over via the
+  // standard three-message relocation protocol. op_id is kImmediate, so
+  // the transfer completes at the home without touching any tracker --
+  // fire-and-forget by construction. Only meaningful under the home-node
+  // strategy (broadcast-relocations would additionally need direct mail).
+  if (!dpa_enabled_ ||
+      ctx_->config->strategy != LocationStrategy::kHomeNode) {
+    return 0;
+  }
+
+  Scratch& sc = scratch_;
+  sc.localize_keys.assign(keys.begin(), keys.end());
+  std::sort(sc.localize_keys.begin(), sc.localize_keys.end());
+  sc.localize_keys.erase(
+      std::unique(sc.localize_keys.begin(), sc.localize_keys.end()),
+      sc.localize_keys.end());
+
+  size_t issued = 0;
+  sc.groups.Begin();
+  for (const Key k : sc.localize_keys) {
+    const NodeId home = ctx_->layout->Home(k);
+    if (home == ctx_->node) continue;  // already where it belongs
+    std::lock_guard<Latch> latch(ctx_->latches->ForKey(k));
+    if (ctx_->StateOf(k) != KeyState::kOwned) continue;
+    sc.groups.AddKey(home, k);
+    ++issued;
+  }
+
+  for (const NodeId home : sc.groups.touched()) {
+    Message m;
+    m.type = MsgType::kLocalize;
+    m.dst_node = home;
+    m.orig_node = home;  // transfer completes at the home, not here
+    m.orig_thread = 0;
+    m.op_id = OpTracker::kImmediate;
+    m.requester_node = home;
+    m.keys = sc.groups.TakeKeys(home);
+    endpoint_->Send(std::move(m));
+  }
+  return issued;
+}
+
 bool Worker::PullIfLocal(Key k, Val* dst) {
   if (!fast_local_) return false;
-  if (ctx_->StateOf(k) != KeyState::kOwned) return false;
+  // Sampled like a pull -- including misses, which come before the early
+  // return: a miss is exactly the signal that tells the placement engine
+  // this key is wanted here (w2v local-only negatives would otherwise
+  // never get their output vectors localized in auto mode), and hits keep
+  // owned keys warm so the engine does not evict what this path serves.
+  const bool owned_hint = ctx_->StateOf(k) == KeyState::kOwned;
+  if (SampleThisOp()) {
+    sample_ring_->TryPush(
+        {k, adapt::SampleFlags(/*is_write=*/false, owned_hint)});
+  }
+  if (!owned_hint) return false;
   std::lock_guard<Latch> latch(ctx_->latches->ForKey(k));
   if (ctx_->StateOf(k) != KeyState::kOwned) return false;
   std::memcpy(dst, Slot(k), ctx_->layout->Length(k) * sizeof(Val));

@@ -54,7 +54,19 @@ class Worker {
   // Adds `updates` (concatenated in key order) to the parameters.
   uint64_t PushAsync(const std::vector<Key>& keys, const Val* updates);
   // Requests relocation of the keys to this node. No-op outside kLapse.
+  // Unlike pull/push, `keys` may contain duplicates and already-local
+  // keys: the request is deduplicated and keys this node already owns are
+  // skipped without touching the tracker, so policy-issued localizes are
+  // idempotent and cheap.
   uint64_t LocalizeAsync(const std::vector<Key>& keys);
+
+  // Hands owned keys whose home is elsewhere back to their home node (the
+  // reverse of localize; used by the adaptive placement engine to retire
+  // cold keys). Fire-and-forget: the transfer completes at the home node,
+  // so there is no handle to wait on. Keys not owned here (or homed here)
+  // are skipped. Returns the number of keys an eviction was issued for.
+  // Home-node strategy only; no-op otherwise.
+  size_t Evict(const std::vector<Key>& keys);
 
   void Wait(uint64_t op) { tracker_->Wait(op); }
   void WaitAll() { tracker_->WaitAll(); }
@@ -100,10 +112,6 @@ class Worker {
   // location cache if enabled and filled, else home / owner view).
   NodeId RemoteDst(Key k) const;
 
-  // True if every key is currently owned here (lock-free pre-check; callers
-  // re-verify under the latches).
-  bool AllOwned(const std::vector<Key>& keys) const;
-
   // Debug-only contract check: keys within one operation must be distinct.
   // Compiled out in release builds -- it costs a copy + sort per op.
 #ifndef NDEBUG
@@ -111,6 +119,20 @@ class Worker {
 #else
   void CheckDistinct(const std::vector<Key>&) const {}
 #endif
+
+  // Records the keys of a sampled operation into this worker's sample ring
+  // (adaptive placement engine). Out of line: runs once per sample_period
+  // operations.
+  void RecordAccessSample(const std::vector<Key>& keys, bool is_write);
+
+  // Decrement-and-test of the sampling countdown; the only cost the
+  // sampling hook adds to an unsampled hot-path operation.
+  bool SampleThisOp() {
+    if (sample_ring_ == nullptr) return false;
+    if (--sample_countdown_ > 0) return false;
+    sample_countdown_ = sample_period_;
+    return true;
+  }
 
   // Reusable per-op buffers: cleared every operation, never shrunk, so the
   // hot path performs no heap allocation in steady state. A Worker is owned
@@ -120,6 +142,7 @@ class Worker {
     DestGroups groups;  // destination-grouped send buffers
     std::vector<Key> broadcast_keys;
     std::vector<Val> broadcast_vals;
+    std::vector<Key> localize_keys;  // deduped localize/evict request
   };
 
   NodeContext* ctx_;
@@ -132,6 +155,10 @@ class Worker {
   bool fast_local_;
   bool dpa_enabled_;
   Val* dense_base_;  // non-null iff the node store is dense
+  // Access sampling for the adaptive placement engine (null when disabled).
+  adapt::SampleRing* sample_ring_ = nullptr;
+  uint32_t sample_period_ = 0;
+  uint32_t sample_countdown_ = 0;
   Scratch scratch_;
 
   // Slot of key k for fast-path access; devirtualized for dense stores.

@@ -41,12 +41,28 @@ SspNode::SspNode(const SspConfig* cfg, const ps::KeyLayout* lay, NodeId n)
   }
 }
 
+void SspConfig::Validate() const {
+  LAPSE_CHECK_GT(num_nodes, 0) << "SspConfig: num_nodes must be positive";
+  LAPSE_CHECK_LE(num_nodes, 64)
+      << "SspConfig: subscriber mask is 64-bit, num_nodes must be <= 64";
+  LAPSE_CHECK_GT(workers_per_node, 0)
+      << "SspConfig: workers_per_node must be positive";
+  LAPSE_CHECK_GT(num_keys, 0u)
+      << "SspConfig: num_keys is 0 -- the key space must be non-empty";
+  LAPSE_CHECK_GT(value_length, 0u)
+      << "SspConfig: value_length must be positive";
+  LAPSE_CHECK_GE(staleness, 0)
+      << "SspConfig: staleness bound must be >= 0 (got " << staleness
+      << "); 0 means bulk-synchronous";
+  LAPSE_CHECK_GT(num_latches, 0u)
+      << "SspConfig: num_latches must be positive";
+}
+
 SspSystem::SspSystem(SspConfig config)
-    : config_(config),
-      layout_(config.num_keys, config.value_length, config.num_nodes),
-      network_(config.num_nodes, config.latency, config.seed),
-      worker_barrier_(static_cast<size_t>(config.total_workers())) {
-  LAPSE_CHECK_LE(config_.num_nodes, 64) << "subscriber mask is 64-bit";
+    : config_((config.Validate(), std::move(config))),
+      layout_(config_.num_keys, config_.value_length, config_.num_nodes),
+      network_(config_.num_nodes, config_.latency, config_.seed),
+      worker_barrier_(static_cast<size_t>(config_.total_workers())) {
   nodes_.reserve(config_.num_nodes);
   for (NodeId n = 0; n < config_.num_nodes; ++n) {
     nodes_.push_back(std::make_unique<SspNode>(&config_, &layout_, n));

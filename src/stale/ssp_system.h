@@ -40,6 +40,11 @@ struct SspConfig {
   uint64_t seed = 1;
 
   int total_workers() const { return num_nodes * workers_per_node; }
+
+  // Fails fast with a clear message on invalid configurations (zero
+  // nodes/workers/keys, negative staleness) instead of crashing deep in
+  // system setup. Called by the SspSystem constructor.
+  void Validate() const;
 };
 
 // Internal per-node state (shared by the node's server thread and workers).

@@ -70,6 +70,11 @@ std::vector<W2vEpochResult> TrainW2v(ps::PsSystem& system,
   std::vector<double> loss_sum(config.epochs, 0.0);
   std::vector<int64_t> loss_n(config.epochs, 0);
 
+  // Manual pre-localization is skipped when the adaptive placement engine
+  // is on; the engine localizes hot words from observed accesses instead.
+  const bool manual_localize =
+      config.latency_hiding && !system.config().adaptive.enabled;
+
   system.Run([&](ps::Worker& w) {
     const int wid = w.worker_id();
     Rng& rng = w.rng();
@@ -84,7 +89,7 @@ std::vector<W2vEpochResult> TrainW2v(ps::PsSystem& system,
         negatives.push_back(static_cast<uint32_t>(neg_sampler.Sample(rng)));
       }
       neg_pos = 0;
-      if (config.latency_hiding) {
+      if (manual_localize) {
         std::vector<Key> keys;
         keys.reserve(negatives.size());
         for (const uint32_t n : negatives) keys.push_back(OutputKey(vocab, n));
@@ -123,7 +128,7 @@ std::vector<W2vEpochResult> TrainW2v(ps::PsSystem& system,
         if (tokens.size() < 2) continue;
 
         // Latency hiding: pre-localize all parameters of this sentence.
-        if (config.latency_hiding) {
+        if (manual_localize) {
           std::vector<Key> keys;
           keys.reserve(2 * tokens.size());
           for (const uint32_t t : tokens) {

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "ps/config.h"
+#include "stale/ssp_system.h"
+
+// Config validation: invalid deployments must fail fast with a clear
+// message at Normalize()/Validate() time instead of crashing somewhere
+// deep in system setup.
+
+namespace lapse {
+namespace {
+
+ps::Config ValidConfig() {
+  ps::Config cfg;
+  cfg.num_nodes = 2;
+  cfg.workers_per_node = 1;
+  cfg.num_keys = 16;
+  cfg.uniform_value_length = 4;
+  return cfg;
+}
+
+TEST(ConfigValidationTest, ValidConfigPasses) {
+  ps::Config cfg = ValidConfig();
+  cfg.Normalize();
+  EXPECT_EQ(cfg.num_keys, 16u);
+}
+
+TEST(ConfigValidationDeathTest, ZeroNodesDies) {
+  ps::Config cfg = ValidConfig();
+  cfg.num_nodes = 0;
+  EXPECT_DEATH(cfg.Normalize(), "num_nodes");
+}
+
+TEST(ConfigValidationDeathTest, ZeroWorkersDies) {
+  ps::Config cfg = ValidConfig();
+  cfg.workers_per_node = 0;
+  EXPECT_DEATH(cfg.Normalize(), "workers_per_node");
+}
+
+TEST(ConfigValidationDeathTest, ZeroKeysDies) {
+  ps::Config cfg = ValidConfig();
+  cfg.num_keys = 0;
+  EXPECT_DEATH(cfg.Normalize(), "num_keys");
+}
+
+TEST(ConfigValidationDeathTest, ZeroLengthValueDies) {
+  ps::Config cfg = ValidConfig();
+  cfg.num_keys = 0;
+  cfg.value_lengths = {4, 0, 4};
+  EXPECT_DEATH(cfg.Normalize(), "value_lengths");
+}
+
+TEST(ConfigValidationDeathTest, ZeroLatchesDies) {
+  ps::Config cfg = ValidConfig();
+  cfg.num_latches = 0;
+  EXPECT_DEATH(cfg.Normalize(), "num_latches");
+}
+
+TEST(ConfigValidationTest, ValueLengthsOverrideNumKeys) {
+  ps::Config cfg = ValidConfig();
+  cfg.num_keys = 999;  // stale; value_lengths wins
+  cfg.value_lengths = {4, 4, 4};
+  cfg.Normalize();
+  EXPECT_EQ(cfg.num_keys, 3u);
+}
+
+TEST(ConfigValidationTest, ClassicArchDegradesStrategyAndCaches) {
+  ps::Config cfg = ValidConfig();
+  cfg.arch = ps::Architecture::kClassic;
+  cfg.strategy = ps::LocationStrategy::kHomeNode;
+  cfg.location_caches = true;
+  cfg.Normalize();
+  EXPECT_EQ(cfg.strategy, ps::LocationStrategy::kStaticPartition);
+  EXPECT_FALSE(cfg.location_caches);
+}
+
+// ---- adaptive engine knobs ---------------------------------------------
+
+ps::Config ValidAdaptiveConfig() {
+  ps::Config cfg = ValidConfig();
+  cfg.adaptive.enabled = true;
+  return cfg;
+}
+
+TEST(ConfigValidationTest, AdaptiveDefaultsAreValid) {
+  ps::Config cfg = ValidAdaptiveConfig();
+  cfg.Normalize();  // must not die
+}
+
+TEST(ConfigValidationDeathTest, AdaptiveNeedsLapseArchitecture) {
+  ps::Config cfg = ValidAdaptiveConfig();
+  cfg.arch = ps::Architecture::kClassic;
+  EXPECT_DEATH(cfg.Normalize(), "adaptive placement engine");
+}
+
+TEST(ConfigValidationDeathTest, AdaptiveNeedsHomeNodeStrategy) {
+  ps::Config cfg = ValidAdaptiveConfig();
+  cfg.strategy = ps::LocationStrategy::kBroadcastOps;
+  EXPECT_DEATH(cfg.Normalize(), "home-node");
+}
+
+TEST(ConfigValidationDeathTest, DecayOutOfRangeDies) {
+  ps::Config cfg = ValidAdaptiveConfig();
+  cfg.adaptive.decay = 1.0;
+  EXPECT_DEATH(cfg.Normalize(), "decay");
+  cfg.adaptive.decay = 0.0;
+  EXPECT_DEATH(cfg.Normalize(), "decay");
+}
+
+TEST(ConfigValidationDeathTest, InvertedThresholdsDie) {
+  ps::Config cfg = ValidAdaptiveConfig();
+  cfg.adaptive.hot_threshold = 0.4;
+  cfg.adaptive.cold_threshold = 0.5;
+  EXPECT_DEATH(cfg.Normalize(), "hot_threshold");
+}
+
+TEST(ConfigValidationDeathTest, ZeroSamplePeriodDies) {
+  ps::Config cfg = ValidAdaptiveConfig();
+  cfg.adaptive.sample_period = 0;
+  EXPECT_DEATH(cfg.Normalize(), "sample_period");
+}
+
+TEST(ConfigValidationDeathTest, ZeroEvictHysteresisDies) {
+  ps::Config cfg = ValidAdaptiveConfig();
+  cfg.adaptive.cold_ticks_to_evict = 0;
+  EXPECT_DEATH(cfg.Normalize(), "cold_ticks_to_evict");
+}
+
+TEST(ConfigValidationDeathTest, CounterOverflowingKnobsDie) {
+  // Values that would truncate in the policy's narrow counters must be
+  // rejected, not silently wrapped (65536 would truncate to 0 and evict
+  // on the first cold tick -- the opposite of the intent).
+  ps::Config cfg = ValidAdaptiveConfig();
+  cfg.adaptive.cold_ticks_to_evict = 65536;
+  EXPECT_DEATH(cfg.Normalize(), "cold_ticks_to_evict");
+  cfg = ValidAdaptiveConfig();
+  cfg.adaptive.churn_limit = 256;
+  EXPECT_DEATH(cfg.Normalize(), "churn_limit");
+}
+
+TEST(ConfigValidationDeathTest, ReplicateFractionOutOfRangeDies) {
+  ps::Config cfg = ValidAdaptiveConfig();
+  cfg.adaptive.replicate_read_fraction = 1.5;
+  EXPECT_DEATH(cfg.Normalize(), "replicate_read_fraction");
+}
+
+// ---- stale (bounded-staleness) PS --------------------------------------
+
+stale::SspConfig ValidSspConfig() {
+  stale::SspConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.workers_per_node = 1;
+  cfg.num_keys = 16;
+  cfg.value_length = 4;
+  return cfg;
+}
+
+TEST(SspConfigValidationTest, ValidConfigPasses) {
+  ValidSspConfig().Validate();  // must not die
+}
+
+TEST(SspConfigValidationDeathTest, NegativeStalenessDies) {
+  stale::SspConfig cfg = ValidSspConfig();
+  cfg.staleness = -1;
+  EXPECT_DEATH(cfg.Validate(), "staleness");
+}
+
+TEST(SspConfigValidationDeathTest, ZeroKeysDies) {
+  stale::SspConfig cfg = ValidSspConfig();
+  cfg.num_keys = 0;
+  EXPECT_DEATH(cfg.Validate(), "num_keys");
+}
+
+TEST(SspConfigValidationDeathTest, TooManyNodesDies) {
+  stale::SspConfig cfg = ValidSspConfig();
+  cfg.num_nodes = 65;
+  EXPECT_DEATH(cfg.Validate(), "64");
+}
+
+}  // namespace
+}  // namespace lapse
