@@ -9,6 +9,9 @@
 //   ./examples/knowledge_graph_embeddings --auto-placement
 //     both techniques drop their Localize calls; the adaptive engine
 //     discovers the relation/entity access pattern and relocates instead
+//   ./examples/knowledge_graph_embeddings --replication
+//     auto-placement plus replica serving for contended entities (hubs
+//     touched by triples on every node)
 
 #include <cstdio>
 #include <cstring>
@@ -18,8 +21,11 @@
 
 int main(int argc, char** argv) {
   using namespace lapse;
+  const bool replication =
+      argc > 1 && std::strcmp(argv[1], "--replication") == 0;
   const bool auto_placement =
-      argc > 1 && std::strcmp(argv[1], "--auto-placement") == 0;
+      replication ||
+      (argc > 1 && std::strcmp(argv[1], "--auto-placement") == 0);
 
   kge::KgGenConfig gen;
   gen.num_entities = 1000;
@@ -43,8 +49,10 @@ int main(int argc, char** argv) {
                                      /*workers_per_node=*/2,
                                      net::LatencyConfig::Lan());
   pscfg.adaptive.enabled = auto_placement;
-  std::printf("placement: %s\n", auto_placement ? "adaptive engine"
-                                                : "manual Localize()");
+  pscfg.replication = replication;
+  std::printf("placement: %s%s\n",
+              auto_placement ? "adaptive engine" : "manual Localize()",
+              replication ? " + replication" : "");
   ps::PsSystem system(pscfg);
   InitKgeParams(system, kg, cfg);
 

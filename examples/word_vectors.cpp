@@ -9,6 +9,13 @@
 //   ./examples/word_vectors --auto-placement  the adaptive engine localizes
 //                                             hot words from observed
 //                                             accesses; no Localize calls
+//   ./examples/word_vectors --replication     auto-placement plus replica
+//                                             serving: contended hot words
+//                                             (stop words every node reads)
+//                                             are pinned into per-node
+//                                             replicas instead of
+//                                             ping-ponging; PullIfLocal
+//                                             negatives hit them too
 
 #include <cstdio>
 #include <cstring>
@@ -18,8 +25,11 @@
 
 int main(int argc, char** argv) {
   using namespace lapse;
+  const bool replication =
+      argc > 1 && std::strcmp(argv[1], "--replication") == 0;
   const bool auto_placement =
-      argc > 1 && std::strcmp(argv[1], "--auto-placement") == 0;
+      replication ||
+      (argc > 1 && std::strcmp(argv[1], "--auto-placement") == 0);
 
   w2v::CorpusGenConfig gen;
   gen.vocab_size = 1500;
@@ -46,8 +56,10 @@ int main(int argc, char** argv) {
                                      /*workers_per_node=*/2,
                                      net::LatencyConfig::Lan());
   pscfg.adaptive.enabled = auto_placement;
-  std::printf("placement: %s\n", auto_placement ? "adaptive engine"
-                                                : "manual Localize()");
+  pscfg.replication = replication;
+  std::printf("placement: %s%s\n",
+              auto_placement ? "adaptive engine" : "manual Localize()",
+              replication ? " + replication" : "");
   ps::PsSystem system(pscfg);
   InitW2vParams(system, corpus, cfg);
 
@@ -63,9 +75,12 @@ int main(int argc, char** argv) {
 
   const int64_t local = system.TotalLocalReads();
   const int64_t remote = system.TotalRemoteReads();
-  std::printf("reads: %lld local / %lld remote; %lld keys relocated\n",
-              static_cast<long long>(local),
-              static_cast<long long>(remote),
-              static_cast<long long>(system.TotalRelocatedKeys()));
+  std::printf(
+      "reads: %lld local / %lld replica / %lld remote; %lld keys "
+      "relocated\n",
+      static_cast<long long>(local),
+      static_cast<long long>(system.TotalReplicaReads()),
+      static_cast<long long>(remote),
+      static_cast<long long>(system.TotalRelocatedKeys()));
   return 0;
 }

@@ -44,8 +44,24 @@ void PlacementManager::Pause() {
 
 void PlacementManager::SetReplicationHook(
     std::function<void(const std::vector<Key>&)> hook) {
-  std::lock_guard<std::mutex> lock(mu_);
-  hook_ = std::move(hook);
+  // Replay flags that fired before the hook existed: without this, a hook
+  // installed after the first contended keys were detected would silently
+  // never hear about them (they are flagged exactly once). The replay runs
+  // outside mu_ so a hook that calls back into the manager cannot
+  // deadlock; the manager thread appends to flagged_ and reads hook_ under
+  // one mu_ critical section, so every flag is delivered exactly once --
+  // either by that tick's call or by this replay.
+  std::vector<Key> replay;
+  std::function<void(const std::vector<Key>&)> installed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    hook_ = std::move(hook);
+    if (!flagged_.empty()) {
+      replay = flagged_;
+      installed = hook_;
+    }
+  }
+  if (installed) installed(replay);
 }
 
 AdaptStats PlacementManager::stats() const {
@@ -56,6 +72,7 @@ AdaptStats PlacementManager::stats() const {
   s.localizes_issued = n_localizes_.load(std::memory_order_relaxed);
   s.evictions_issued = n_evictions_.load(std::memory_order_relaxed);
   s.replication_flags = n_flags_.load(std::memory_order_relaxed);
+  s.replicas_pinned = n_pinned_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -120,7 +137,11 @@ void PlacementManager::Tick() {
   const ps::NodeContext* ctx = ctx_;
   policy_.Tick(
       [ctx](Key k) { return ctx->StateOf(k) == ps::KeyState::kOwned; },
-      [ctx](Key k) { return ctx->layout->Home(k); }, &decisions_scratch_);
+      [ctx](Key k) { return ctx->layout->Home(k); },
+      [ctx](Key k) {
+        return ctx->replicas != nullptr && ctx->replicas->IsPinned(k);
+      },
+      &decisions_scratch_);
   n_ticks_.fetch_add(1, std::memory_order_relaxed);
 
   if (!decisions_scratch_.localize.empty()) {
@@ -135,6 +156,16 @@ void PlacementManager::Tick() {
                            std::memory_order_relaxed);
   }
   if (!decisions_scratch_.replicate.empty()) {
+    // The real serving path: pin the flagged keys into the node's replica
+    // store and register at their homes, so subsequent reads are served
+    // from local memory (Worker::Replicate; no-op when replication is
+    // off). The hook is observability on top.
+    if (ctx_->replicas != nullptr) {
+      const size_t pinned =
+          worker_->Replicate(decisions_scratch_.replicate);
+      n_pinned_.fetch_add(static_cast<int64_t>(pinned),
+                          std::memory_order_relaxed);
+    }
     std::function<void(const std::vector<Key>&)> hook;
     {
       std::lock_guard<std::mutex> lock(mu_);

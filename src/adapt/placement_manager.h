@@ -26,6 +26,9 @@ struct AdaptStats {
   int64_t localizes_issued = 0;
   int64_t evictions_issued = 0;
   int64_t replication_flags = 0;
+  // Flagged keys actually pinned into the node's ReplicaManager (0 unless
+  // Config::replication is on).
+  int64_t replicas_pinned = 0;
 };
 
 // Per-node background thread that makes relocation automatic: drains the
@@ -58,8 +61,12 @@ class PlacementManager {
   void Pause();
 
   // Installs the replication hook: called from the manager thread with
-  // every batch of newly flagged contended read-mostly keys. Typical use
-  // pins the keys into a stale::ReplicaStore. Call before Resume().
+  // every batch of newly flagged contended read-mostly keys. With
+  // Config::replication on, the manager already pins flagged keys into
+  // the node's ps::ReplicaManager on its own -- the hook is for
+  // observability or custom stores. Keys flagged before the hook was
+  // installed are replayed to it immediately (from the installing
+  // thread), so installation order does not lose flags.
   void SetReplicationHook(std::function<void(const std::vector<Key>&)> hook);
 
   AdaptStats stats() const;
@@ -97,6 +104,7 @@ class PlacementManager {
   std::atomic<int64_t> n_localizes_{0};
   std::atomic<int64_t> n_evictions_{0};
   std::atomic<int64_t> n_flags_{0};
+  std::atomic<int64_t> n_pinned_{0};
 
   std::thread thread_;
 };

@@ -22,6 +22,7 @@ PlacementPolicy::PlacementPolicy(const ps::AdaptiveConfig& config,
     : config_(config), node_(node) {}
 
 void PlacementPolicy::Record(Key k, bool is_write) {
+  ++pending_samples_;
   KeyStat& s = stats_[k];
   if (is_write) {
     s.writes += 1.0f;
@@ -51,7 +52,19 @@ double PlacementPolicy::Score(Key k) const {
 
 void PlacementPolicy::Tick(const std::function<bool(Key)>& owned,
                            const std::function<NodeId(Key)>& home,
+                           const std::function<bool(Key)>& replicated,
                            Decisions* out) {
+  // Auto-tuned windows: hold the window open until enough samples arrived
+  // for per-key scores to mean anything, so thresholds are measured in
+  // samples per window regardless of how fast this box pushes ops. The
+  // stretch is capped: an idle node records no samples at all, and its
+  // owned-but-cold keys must still decay toward eviction.
+  if (pending_samples_ < config_.min_tick_samples &&
+      ++starved_ticks_ < kMaxWindowStretchTicks) {
+    return;
+  }
+  pending_samples_ = 0;
+  starved_ticks_ = 0;
   ++ticks_;
   const bool forgive_churn = (ticks_ % config_.churn_forget_ticks) == 0;
   const float decay = static_cast<float>(config_.decay);
@@ -116,7 +129,11 @@ void PlacementPolicy::Tick(const std::function<bool(Key)>& owned,
             s.flagged = true;
             out->replicate.push_back(k);
           }
-        } else if (out->localize.size() < config_.max_localizes_per_tick) {
+        } else if (!replicated(k) &&
+                   out->localize.size() < config_.max_localizes_per_tick) {
+          // Replica-served keys are excluded: churn forgiveness would
+          // otherwise periodically re-localize a pinned key, invalidating
+          // every node's replica and restarting the ping-pong.
           out->localize.push_back(k);
           s.requested = true;
         }

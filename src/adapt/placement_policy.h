@@ -38,6 +38,15 @@ struct Decisions {
 //   for each drained sample: policy.Record(key, is_write);
 //   policy.Tick(owned_fn, home_fn, &decisions);
 //
+// Windows auto-tune to the observed sample rate: a Tick() that has seen
+// fewer than config.min_tick_samples samples since the last window close
+// is a no-op (no classification, no decay), so on a slow box the window
+// stretches in wall-clock time until enough evidence accumulated, and
+// hot_threshold/cold_threshold are effectively expressed in samples per
+// window rather than samples per wall-clock tick. Without this, ticks
+// that see <1 sample of a genuinely hot key decay every score to noise
+// and the policy flaps (or never acts) on 1-core CI boxes.
+//
 // Ownership is read through callbacks at tick time so the policy never
 // holds a stale view longer than one tick. The policy trusts the manager
 // to actually issue the decided operations: a key decided for localize is
@@ -52,9 +61,23 @@ class PlacementPolicy {
   void Record(Key k, bool is_write);
 
   // Closes the current window: classifies every tracked key against the
-  // ownership view, emits decisions, then decays all scores.
+  // ownership view, emits decisions, then decays all scores. No-op (the
+  // window stays open) while fewer than config.min_tick_samples samples
+  // were recorded since the last close -- but never for more than
+  // kMaxWindowStretchTicks consecutive calls, so a node gone idle still
+  // decays and eventually evicts its cold keys. `replicated` marks keys
+  // this node serves from a pinned replica: they are never localize
+  // candidates (relocating one would invalidate every holder and restart
+  // the ping-pong the pin stopped).
   void Tick(const std::function<bool(Key)>& owned,
-            const std::function<NodeId(Key)>& home, Decisions* out);
+            const std::function<NodeId(Key)>& home,
+            const std::function<bool(Key)>& replicated, Decisions* out);
+
+  // Convenience overload without a replica store (nothing pinned).
+  void Tick(const std::function<bool(Key)>& owned,
+            const std::function<NodeId(Key)>& home, Decisions* out) {
+    Tick(owned, home, [](Key) { return false; }, out);
+  }
 
   // Classification of key k under the current (pre-decay) scores.
   KeyClass Classify(Key k, bool owned) const;
@@ -87,10 +110,19 @@ class PlacementPolicy {
   // be re-requested (relocations complete well within one manager tick;
   // the slack covers queued conflicts).
   static constexpr uint8_t kRequestRetryTicks = 3;
+  // Upper bound on how many consecutive under-sampled Tick() calls may
+  // hold a window open: past this the window closes regardless, so decay
+  // (and with it cold-key eviction) cannot be starved forever by a node
+  // that stopped issuing operations.
+  static constexpr int kMaxWindowStretchTicks = 64;
 
   ps::AdaptiveConfig config_;
   NodeId node_;
-  int64_t ticks_ = 0;
+  int64_t ticks_ = 0;  // closed windows, not Tick() calls
+  // Samples recorded since the last window close (gates the next close).
+  uint64_t pending_samples_ = 0;
+  // Consecutive Tick() calls the current window has been held open.
+  int starved_ticks_ = 0;
   std::unordered_map<Key, KeyStat> stats_;
 };
 

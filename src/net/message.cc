@@ -73,6 +73,10 @@ const char* MsgTypeName(MsgType type) {
       return "LocalizeNoop";
     case MsgType::kLocationUpdate:
       return "LocationUpdate";
+    case MsgType::kReplicaRegister:
+      return "ReplicaRegister";
+    case MsgType::kReplicaInvalidate:
+      return "ReplicaInvalidate";
     case MsgType::kSspRead:
       return "SspRead";
     case MsgType::kSspReadResp:

@@ -32,6 +32,9 @@ enum class MsgType : uint8_t {
   kRelocateTransfer,  // old owner -> requester: key + value     (msg 3)
   kLocalizeNoop,      // home -> requester: already owner, nothing to do
   kLocationUpdate,    // broadcast-relocation strategy: direct-mail update
+  // -- replication of contended read-mostly keys (ps::ReplicaManager) ---
+  kReplicaRegister,   // replica holder -> home: pin notification
+  kReplicaInvalidate, // home -> replica holders: ownership moved, drop copy
   // -- stale PS (Petuum-like, Section 4.5) ------------------------------
   kSspRead,           // replica miss/staleness: fetch from owner
   kSspReadResp,       // owner -> reader: fresh value + owner clock

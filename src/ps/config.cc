@@ -101,6 +101,21 @@ void Config::Validate() const {
     LAPSE_CHECK_GE(adaptive.max_localizes_per_tick, 1u)
         << "Config: adaptive.max_localizes_per_tick must be >= 1";
   }
+
+  if (replication) {
+    LAPSE_CHECK(arch == Architecture::kLapse)
+        << "Config: replication needs dynamic parameter allocation "
+           "(Architecture::kLapse); got "
+        << ArchitectureName(arch);
+    LAPSE_CHECK(strategy == LocationStrategy::kHomeNode)
+        << "Config: replication supports only the home-node location "
+           "strategy (the home's replica directory drives invalidation); "
+           "got "
+        << LocationStrategyName(strategy);
+    LAPSE_CHECK_GT(replica_staleness_micros, 0)
+        << "Config: replica_staleness_micros must be positive (it bounds "
+           "how stale a replica-served read may be)";
+  }
 }
 
 void Config::Normalize() {

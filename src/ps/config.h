@@ -76,6 +76,14 @@ struct AdaptiveConfig {
   double replicate_read_fraction = 0.9;
   // Cap on localize requests issued per node per tick.
   size_t max_localizes_per_tick = 1024;
+  // Minimum number of drained samples before a policy window closes.
+  // Ticks that saw fewer samples neither classify nor decay, so the
+  // window auto-stretches (in wall-clock time) to the observed sample
+  // rate and hot_threshold is effectively expressed in samples per
+  // window: the same config works on a 1-core CI box serving hundreds of
+  // ops/s and a big machine serving millions. 0 closes a window on every
+  // timer tick (the raw pre-auto-tune behaviour).
+  uint32_t min_tick_samples = 32;
 };
 
 // Configuration of a PS instance (simulated cluster + engine behaviour).
@@ -99,6 +107,24 @@ struct Config {
   uint64_t seed = 1;
 
   AdaptiveConfig adaptive;
+
+  // --- replication of contended read-mostly keys (ps::ReplicaManager) --
+  // Master switch: keys flagged by the adaptive engine (or pinned manually
+  // via Worker::Replicate) are served from node-local replicas with
+  // bounded staleness instead of paying the message path on every read.
+  // Requires Architecture::kLapse with the home-node strategy (the home's
+  // replica directory rides the relocation protocol for invalidation).
+  bool replication = false;
+  // Staleness bound: a replica serves a read iff its copy was installed
+  // within this many microseconds; otherwise the read falls through to
+  // the message path, and the returning response refreshes the copy
+  // (pull-through). A replica-served read therefore lags the owner by at
+  // most this bound plus one fetch round-trip. Tuning: each node pays
+  // roughly one refresh round-trip per pinned key per staleness window,
+  // so the bound trades read freshness against residual message traffic;
+  // keep it well above the interconnect round-trip time or replicas
+  // thrash (see bench/micro_replication.cc).
+  int64_t replica_staleness_micros = 2000;
 
   // Normalizes dependent options (classic architectures force the static
   // partition strategy and disable caches) and validates ranges. Dies with

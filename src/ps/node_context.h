@@ -17,6 +17,7 @@
 #include "ps/latch_table.h"
 #include "ps/location.h"
 #include "ps/op_tracker.h"
+#include "ps/replica_manager.h"
 #include "ps/storage.h"
 #include "util/stats.h"
 
@@ -77,6 +78,10 @@ struct ServerStats {
   // Per-message-type lag between simulated delivery time and actual
   // processing start at the server (diagnoses server backlog).
   Counter backlog_ns[static_cast<size_t>(net::MsgType::kNumTypes)];
+  // Keys served from the node's replica store (bounded-staleness local
+  // reads of contended keys; neither local_key_reads nor remote). Kept
+  // last so the hot counters above stay on their established cache lines.
+  Counter replica_key_reads;
   void Reset() {
     local_key_reads.Reset();
     remote_key_reads.Reset();
@@ -87,6 +92,7 @@ struct ServerStats {
     localization_conflicts.Reset();
     evictions_received.Reset();
     for (auto& b : backlog_ns) b.Reset();
+    replica_key_reads.Reset();
   }
 };
 
@@ -104,6 +110,9 @@ struct NodeContext {
   // Sample rings of the adaptive placement engine, one per thread slot
   // (null unless config.adaptive.enabled).
   std::unique_ptr<adapt::AccessStats> access_stats;
+  // Replica store for contended read-mostly keys (null unless
+  // config.replication).
+  std::unique_ptr<ReplicaManager> replicas;
 
   // Sharded by key to keep worker queueing and server draining off one
   // mutex.

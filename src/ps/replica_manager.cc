@@ -1,0 +1,96 @@
+#include "ps/replica_manager.h"
+
+#include <cstring>
+#include <mutex>
+
+#include "util/timer.h"
+
+namespace lapse {
+namespace ps {
+
+ReplicaManager::ReplicaManager(const KeyLayout* layout,
+                               int64_t staleness_micros, size_t num_latches)
+    : layout_(layout),
+      staleness_ns_(staleness_micros * 1000),
+      values_(layout->num_keys()),
+      install_ns_(layout->num_keys()),
+      pinned_(layout->num_keys()),
+      latches_(num_latches) {
+  for (auto& t : install_ns_) t.store(kAbsent, std::memory_order_relaxed);
+  for (auto& p : pinned_) p.store(0, std::memory_order_relaxed);
+}
+
+void ReplicaManager::Pin(Key k) {
+  std::lock_guard<Latch> latch(latches_.ForKey(k));
+  if (IsPinned(k)) return;
+  // The buffer exists before the pin flag is published, so a reader that
+  // sees the flag always finds it (it starts absent either way).
+  values_[k] = std::make_unique<Val[]>(layout_->Length(k));
+  pinned_[k].store(1, std::memory_order_release);
+  n_pinned_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ReplicaManager::Unpin(Key k) {
+  std::lock_guard<Latch> latch(latches_.ForKey(k));
+  if (!IsPinned(k)) return;
+  pinned_[k].store(0, std::memory_order_release);
+  install_ns_[k].store(kAbsent, std::memory_order_release);
+  values_[k].reset();
+  n_pinned_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+bool ReplicaManager::TryRead(Key k, Val* dst) {
+  if (!IsPinned(k)) return false;
+  const int64_t now = NowNanos();
+  const int64_t tag = install_ns_[k].load(std::memory_order_acquire);
+  if (tag == kAbsent || now - tag > staleness_ns_) {
+    n_stale_misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  std::lock_guard<Latch> latch(latches_.ForKey(k));
+  // Re-validate under the latch: an invalidation (or unpin) may have won
+  // the race since the lock-free check.
+  const int64_t tag2 = install_ns_[k].load(std::memory_order_acquire);
+  if (tag2 == kAbsent || now - tag2 > staleness_ns_) {
+    n_stale_misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  std::memcpy(dst, values_[k].get(), layout_->Length(k) * sizeof(Val));
+  return true;
+}
+
+void ReplicaManager::Install(Key k, const Val* data) {
+  std::lock_guard<Latch> latch(latches_.ForKey(k));
+  if (!IsPinned(k)) return;
+  std::memcpy(values_[k].get(), data, layout_->Length(k) * sizeof(Val));
+  install_ns_[k].store(NowNanos(), std::memory_order_release);
+  n_installs_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ReplicaManager::Accumulate(Key k, const Val* update) {
+  std::lock_guard<Latch> latch(latches_.ForKey(k));
+  if (install_ns_[k].load(std::memory_order_acquire) == kAbsent) return;
+  Val* slot = values_[k].get();
+  const size_t len = layout_->Length(k);
+  for (size_t i = 0; i < len; ++i) slot[i] += update[i];
+}
+
+void ReplicaManager::Invalidate(Key k) {
+  std::lock_guard<Latch> latch(latches_.ForKey(k));
+  if (install_ns_[k].exchange(kAbsent, std::memory_order_acq_rel) !=
+      kAbsent) {
+    n_invalidations_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+ReplicaManagerStats ReplicaManager::stats() const {
+  ReplicaManagerStats s;
+  s.pinned = n_pinned_.load(std::memory_order_relaxed);
+  s.stale_misses = n_stale_misses_.load(std::memory_order_relaxed);
+  s.installs = n_installs_.load(std::memory_order_relaxed);
+  s.invalidations = n_invalidations_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace ps
+}  // namespace lapse

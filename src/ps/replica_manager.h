@@ -1,0 +1,119 @@
+#ifndef LAPSE_PS_REPLICA_MANAGER_H_
+#define LAPSE_PS_REPLICA_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/message.h"
+#include "ps/key_layout.h"
+#include "ps/latch_table.h"
+
+namespace lapse {
+namespace ps {
+
+// Monitoring counters of one node's replica manager.
+struct ReplicaManagerStats {
+  int64_t pinned = 0;         // keys currently pinned for replication
+  int64_t stale_misses = 0;   // pinned reads that found no fresh copy
+  int64_t installs = 0;       // fresh owner copies installed (pull-through)
+  int64_t invalidations = 0;  // copies dropped because ownership moved
+};
+
+// Per-node replica store for contended read-mostly keys (the keys the
+// adaptive placement engine flags: hot on several nodes at once, so
+// relocation just ping-pongs them). A pinned key's reads are served from
+// node-local memory when the local copy is fresh; everything else falls
+// through to the normal message path.
+//
+// Same tag/latch design as stale::ReplicaStore, with wall-clock install
+// times as tags instead of SSP clocks: value content is guarded by a latch
+// table, tags are atomics so the staleness check can run without a latch
+// (a racy pass is re-validated under the latch before the copy). Unlike
+// stale::ReplicaStore (which replicates the whole key space by design),
+// value buffers here are allocated per key on Pin -- pinned contended keys
+// are the rare exception, so memory stays proportional to the pinned set,
+// not to num_nodes copies of the model.
+//
+// Consistency contract (bounded staleness):
+//  * A replica-served read returns a value the then-current owner held at
+//    most `staleness_micros` plus one fetch round-trip before the read.
+//  * Writers fold their own pushes into the local copy (Accumulate), so a
+//    node usually observes its own writes immediately; the authoritative
+//    update still travels to the owner (write-through). This is
+//    best-effort, not a guarantee: a refresh that was already in flight
+//    when the push happened carries a pre-push owner snapshot and
+//    overwrites the fold on arrival, hiding the write again until it
+//    reaches the owner and a later refresh lands -- i.e. for at most the
+//    write's round-trip to the owner plus one staleness window.
+//  * When a pinned key's ownership moves, the home directs an invalidation
+//    at every registered replica holder: the copy is dropped (the pin
+//    stays), and the next read faults a fresh value in from the new owner.
+class ReplicaManager {
+ public:
+  ReplicaManager(const KeyLayout* layout, int64_t staleness_micros,
+                 size_t num_latches);
+
+  ReplicaManager(const ReplicaManager&) = delete;
+  ReplicaManager& operator=(const ReplicaManager&) = delete;
+
+  // Lock-free: is key k pinned for replication on this node?
+  bool IsPinned(Key k) const {
+    return pinned_[k].load(std::memory_order_acquire) != 0;
+  }
+
+  // Marks key k replicated here (idempotent). The copy starts absent; the
+  // first read falls through to the message path and installs it.
+  void Pin(Key k);
+
+  // Drops the pin and the copy. Registration at the home is not undone; a
+  // later invalidation for an unpinned key is a no-op.
+  void Unpin(Key k);
+
+  // Serves a read from the local copy iff key k is pinned and the copy was
+  // installed within the staleness bound. Copies into dst and returns true
+  // on success; returns false (counting a stale miss for pinned keys) when
+  // the caller must use the message path instead.
+  bool TryRead(Key k, Val* dst);
+
+  // Installs a fresh owner copy (from a returning pull response) and
+  // stamps it with the current time. No-op if k is no longer pinned.
+  void Install(Key k, const Val* data);
+
+  // Write-through, local half: folds `update` into the copy (if present)
+  // so this node's readers usually see the write before the owner's ack
+  // (best-effort; see the consistency contract above). Callers still
+  // forward the authoritative update to the owner.
+  void Accumulate(Key k, const Val* update);
+
+  // Drops the copy because ownership moved; the pin stays so the next read
+  // refreshes from the new owner.
+  void Invalidate(Key k);
+
+  ReplicaManagerStats stats() const;
+
+  int64_t staleness_nanos() const { return staleness_ns_; }
+
+ private:
+  static constexpr int64_t kAbsent = -1;
+
+  const KeyLayout* layout_;
+  const int64_t staleness_ns_;
+  // Per-key value buffer, allocated by Pin and released by Unpin (both
+  // under the key's latch); null for unpinned keys.
+  std::vector<std::unique_ptr<Val[]>> values_;
+  std::vector<std::atomic<int64_t>> install_ns_;  // kAbsent = no copy
+  std::vector<std::atomic<uint8_t>> pinned_;
+  LatchTable latches_;
+
+  std::atomic<int64_t> n_pinned_{0};
+  std::atomic<int64_t> n_stale_misses_{0};
+  std::atomic<int64_t> n_installs_{0};
+  std::atomic<int64_t> n_invalidations_{0};
+};
+
+}  // namespace ps
+}  // namespace lapse
+
+#endif  // LAPSE_PS_REPLICA_MANAGER_H_

@@ -1,5 +1,6 @@
 #include "ps/server.h"
 
+#include <algorithm>
 #include <cstring>
 #include <utility>
 
@@ -86,6 +87,12 @@ void Server::Handle(Message& msg) {
       break;
     case MsgType::kLocationUpdate:
       HandleLocationUpdate(msg);
+      break;
+    case MsgType::kReplicaRegister:
+      HandleReplicaRegister(msg);
+      break;
+    case MsgType::kReplicaInvalidate:
+      HandleReplicaInvalidate(msg);
       break;
     default:
       LAPSE_LOG(Fatal) << "server received unexpected message: "
@@ -265,6 +272,10 @@ void Server::HandleLocalize(Message& msg) {
     // Update the location immediately; subsequent accesses arriving at the
     // home are routed to the requester from now on (§3.2, message 1).
     ctx_->owners->SetOwner(k, requester);
+    // Ownership moved: replicas of this key must not keep serving the old
+    // owner's value stream; every registered holder drops its copy and
+    // refreshes from the new owner on its next read.
+    if (!replica_holders_.empty()) InvalidateReplicaHolders(k);
     if (requester == ctx_->node) {
       // Self-directed localize (an eviction, or a hand-over the home asked
       // for). A remote requester marked the key kArriving on its own node
@@ -492,6 +503,12 @@ void Server::HandlePullResp(const Message& msg) {
     Val* dst = tracker.PullDst(msg.op_id, k);
     LAPSE_CHECK(dst != nullptr);
     std::memcpy(dst, msg.vals.data() + val_off, len * sizeof(Val));
+    // Pull-through refresh: a returning owner value is exactly the fresh
+    // copy a pinned replica needs -- install it so subsequent reads within
+    // the staleness bound stay local.
+    if (ctx_->replicas && ctx_->replicas->IsPinned(k)) {
+      ctx_->replicas->Install(k, msg.vals.data() + val_off);
+    }
     val_off += len;
     if (ctx_->cache) ctx_->cache->Update(k, msg.src_node);
   }
@@ -513,6 +530,46 @@ void Server::HandleLocationUpdate(const Message& msg) {
   LAPSE_CHECK(!msg.aux.empty());
   const NodeId new_owner = static_cast<NodeId>(msg.aux[0]);
   for (const Key k : msg.keys) ctx_->owners->SetOwner(k, new_owner);
+}
+
+void Server::HandleReplicaRegister(const Message& msg) {
+  const NodeId holder = msg.requester_node;
+  LAPSE_CHECK_GE(holder, 0);
+  for (const Key k : msg.keys) {
+    LAPSE_CHECK_EQ(ctx_->layout->Home(k), ctx_->node)
+        << "replica registration for key " << k
+        << " routed to non-home node";
+    std::vector<NodeId>& holders = replica_holders_[k];
+    if (std::find(holders.begin(), holders.end(), holder) ==
+        holders.end()) {
+      holders.push_back(holder);
+    }
+  }
+}
+
+void Server::HandleReplicaInvalidate(const Message& msg) {
+  if (ctx_->replicas == nullptr) return;
+  for (const Key k : msg.keys) ctx_->replicas->Invalidate(k);
+}
+
+void Server::InvalidateReplicaHolders(Key k) {
+  auto it = replica_holders_.find(k);
+  if (it == replica_holders_.end()) return;
+  for (const NodeId holder : it->second) {
+    if (holder == ctx_->node) {
+      // The home itself holds a replica: drop it directly.
+      if (ctx_->replicas) ctx_->replicas->Invalidate(k);
+      continue;
+    }
+    Message m;
+    m.type = MsgType::kReplicaInvalidate;
+    m.dst_node = holder;
+    m.orig_node = ctx_->node;
+    m.orig_thread = 0;
+    m.op_id = OpTracker::kImmediate;
+    m.keys.push_back(k);
+    endpoint_->Send(std::move(m));
+  }
 }
 
 void Server::SendReply(const Message& request, MsgType type,

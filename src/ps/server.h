@@ -2,6 +2,7 @@
 #define LAPSE_PS_SERVER_H_
 
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "net/network.h"
@@ -53,6 +54,15 @@ class Server {
   void HandleLocalizeNoop(const net::Message& msg);
   void HandleLocationUpdate(const net::Message& msg);
 
+  // Replication directory (home side): records which nodes pinned a key
+  // (kReplicaRegister), so ownership moves can invalidate their copies.
+  void HandleReplicaRegister(const net::Message& msg);
+  // Replica-holder side: ownership of the keys moved; drop the copies.
+  void HandleReplicaInvalidate(const net::Message& msg);
+  // Sends kReplicaInvalidate to every registered holder of key k (called
+  // by HandleLocalize right after the home's owner view changes).
+  void InvalidateReplicaHolders(Key k);
+
   // Applies a single-key pull/push for an owned key (caller holds the
   // latch) and accumulates the reply.
   void ServeOwnedKey(const net::Message& msg, size_t key_index, Key k,
@@ -85,6 +95,11 @@ class Server {
   // for Inbox::TakeBatch.
   DestGroups groups_;
   std::vector<net::Message> batch_;
+
+  // Which nodes hold a replica of each key homed here. Server-thread-only
+  // (registrations and ownership moves both arrive on this thread), so no
+  // lock. Only keys that were ever flagged for replication have entries.
+  std::unordered_map<Key, std::vector<NodeId>> replica_holders_;
 };
 
 }  // namespace ps

@@ -54,6 +54,10 @@ PsSystem::PsSystem(Config config)
       ctx->access_stats = std::make_unique<adapt::AccessStats>(
           config_.workers_per_node + 2, config_.adaptive.ring_capacity);
     }
+    if (config_.replication) {
+      ctx->replicas = std::make_unique<ReplicaManager>(
+          &layout_, config_.replica_staleness_micros, config_.num_latches);
+    }
     nodes_.push_back(std::move(ctx));
   }
   servers_.reserve(config_.num_nodes);
@@ -148,6 +152,12 @@ NodeId PsSystem::OwnerOf(Key k) const {
 int64_t PsSystem::TotalLocalReads() const {
   int64_t total = 0;
   for (const auto& n : nodes_) total += n->stats.local_key_reads.sum();
+  return total;
+}
+
+int64_t PsSystem::TotalReplicaReads() const {
+  int64_t total = 0;
+  for (const auto& n : nodes_) total += n->stats.replica_key_reads.sum();
   return total;
 }
 

@@ -31,6 +31,7 @@ Worker::Worker(NodeContext* ctx, net::Network* network,
        (ctx_->config->strategy == LocationStrategy::kHomeNode ||
         ctx_->config->strategy == LocationStrategy::kBroadcastRelocations));
   dense_base_ = ctx_->store->DenseBase();
+  replicas_ = ctx_->replicas.get();
   if (ctx_->access_stats != nullptr) {
     sample_ring_ = ctx_->access_stats->Ring(thread_slot);
     sample_period_ = ctx_->config->adaptive.sample_period;
@@ -93,12 +94,15 @@ uint64_t Worker::PullAsync(const std::vector<Key>& keys, Val* dst) {
 
   // Fast path (shared-memory access, §3.3): optimistically serve each key
   // under its own latch -- the PS guarantees of Table 1 are per-key, so no
-  // multi-key latch set is needed. The first non-owned key hands the
-  // remaining suffix to the tracked slow path (the copied prefix is final:
-  // a pull may scatter per key). Allocation- and tracker-free when every
-  // key is local.
-  size_t done = 0;      // keys completed optimistically
-  size_t done_off = 0;  // Val offset right after the completed prefix
+  // multi-key latch set is needed. Non-owned keys get one more local
+  // chance: a fresh pinned replica (bounded-staleness copy of a contended
+  // key) also serves from node memory. The first key neither can serve
+  // hands the remaining suffix to the tracked slow path (the copied prefix
+  // is final: a pull may scatter per key). Allocation- and tracker-free
+  // when every key is served locally.
+  size_t done = 0;            // keys completed optimistically
+  size_t done_off = 0;        // Val offset right after the completed prefix
+  int64_t replica_reads = 0;  // keys served from the replica store
   if (fast_local_) {
     for (; done < keys.size(); ++done) {
       const Key k = keys[done];
@@ -106,6 +110,12 @@ uint64_t Worker::PullAsync(const std::vector<Key>& keys, Val* dst) {
       latch.lock();
       if (ctx_->StateOf(k) != KeyState::kOwned) {
         latch.unlock();
+        if (replicas_ != nullptr &&
+            replicas_->TryRead(k, dst + done_off)) {
+          ++replica_reads;
+          done_off += layout.Length(k);
+          continue;
+        }
         break;
       }
       const size_t len = layout.Length(k);
@@ -114,7 +124,11 @@ uint64_t Worker::PullAsync(const std::vector<Key>& keys, Val* dst) {
       done_off += len;
     }
     if (done == keys.size()) {
-      ctx_->stats.local_key_reads.Add(static_cast<int64_t>(keys.size()));
+      ctx_->stats.local_key_reads.Add(static_cast<int64_t>(keys.size()) -
+                                      replica_reads);
+      if (replica_reads > 0) {
+        ctx_->stats.replica_key_reads.Add(replica_reads);
+      }
       return kImmediate;
     }
   }
@@ -133,7 +147,7 @@ uint64_t Worker::PullAsync(const std::vector<Key>& keys, Val* dst) {
   const uint64_t op = tracker_->Create(dst, sc.key_offsets, NowNanos());
 
   size_t inline_done = 0;
-  int64_t local_reads = static_cast<int64_t>(done);
+  int64_t local_reads = static_cast<int64_t>(done) - replica_reads;
   int64_t remote_reads = 0, queued = 0;
   sc.groups.Begin();
   sc.broadcast_keys.clear();
@@ -166,6 +180,15 @@ uint64_t Worker::PullAsync(const std::vector<Key>& keys, Val* dst) {
         handled = true;
       }
     }
+    // i == 0 is the key the fast-path prefix just broke on: its replica
+    // was already tried (and missed) there, so don't pay the latch or
+    // count a second stale miss for it.
+    if (!handled && replicas_ != nullptr && i > 0 &&
+        replicas_->TryRead(k, dst + off)) {
+      ++inline_done;
+      ++replica_reads;
+      handled = true;
+    }
     if (handled) continue;
     ++remote_reads;
     if (broadcast_ops) {
@@ -176,6 +199,7 @@ uint64_t Worker::PullAsync(const std::vector<Key>& keys, Val* dst) {
   }
 
   ctx_->stats.local_key_reads.Add(local_reads);
+  if (replica_reads > 0) ctx_->stats.replica_key_reads.Add(replica_reads);
   ctx_->stats.remote_key_reads.Add(remote_reads);
   ctx_->stats.queued_local_ops.Add(queued);
 
@@ -287,6 +311,12 @@ uint64_t Worker::PushAsync(const std::vector<Key>& keys,
       }
     }
     if (handled) continue;
+    if (replicas_ != nullptr && replicas_->IsPinned(k)) {
+      // Write-through, local half: fold the update into the replica so
+      // this node's readers see it before the owner's ack. The
+      // authoritative update still goes to the owner below.
+      replicas_->Accumulate(k, updates + off);
+    }
     ++remote_writes;
     if (broadcast_ops) {
       sc.broadcast_keys.push_back(k);
@@ -469,6 +499,48 @@ size_t Worker::Evict(const std::vector<Key>& keys) {
   return issued;
 }
 
+size_t Worker::Replicate(const std::vector<Key>& keys) {
+  if (replicas_ == nullptr) return 0;
+
+  // Pin first, then register at the homes: a read between the two only
+  // misses (the copy starts absent). The registration is fire-and-forget
+  // like Evict, and it travels on this worker's endpoint while the
+  // pull-through that installs the first copy may use another, so an
+  // ownership move can race the registration: the home then invalidates
+  // nobody and this node serves the pre-move owner's value until the tag
+  // expires. That is exactly the bounded-staleness contract (staleness
+  // expiry, not the invalidation directory, is the correctness backstop;
+  // invalidation only makes convergence prompt), so the race is benign.
+  Scratch& sc = scratch_;
+  sc.localize_keys.assign(keys.begin(), keys.end());
+  std::sort(sc.localize_keys.begin(), sc.localize_keys.end());
+  sc.localize_keys.erase(
+      std::unique(sc.localize_keys.begin(), sc.localize_keys.end()),
+      sc.localize_keys.end());
+
+  size_t pinned = 0;
+  sc.groups.Begin();
+  for (const Key k : sc.localize_keys) {
+    if (replicas_->IsPinned(k)) continue;
+    replicas_->Pin(k);
+    sc.groups.AddKey(ctx_->layout->Home(k), k);
+    ++pinned;
+  }
+
+  for (const NodeId home : sc.groups.touched()) {
+    Message m;
+    m.type = MsgType::kReplicaRegister;
+    m.dst_node = home;  // the home may be this node: self-sends deliver
+    m.orig_node = ctx_->node;
+    m.orig_thread = thread_;
+    m.op_id = OpTracker::kImmediate;
+    m.requester_node = ctx_->node;
+    m.keys = sc.groups.TakeKeys(home);
+    endpoint_->Send(std::move(m));
+  }
+  return pinned;
+}
+
 bool Worker::PullIfLocal(Key k, Val* dst) {
   if (!fast_local_) return false;
   // Sampled like a pull -- including misses, which come before the early
@@ -481,12 +553,24 @@ bool Worker::PullIfLocal(Key k, Val* dst) {
     sample_ring_->TryPush(
         {k, adapt::SampleFlags(/*is_write=*/false, owned_hint)});
   }
-  if (!owned_hint) return false;
-  std::lock_guard<Latch> latch(ctx_->latches->ForKey(k));
-  if (ctx_->StateOf(k) != KeyState::kOwned) return false;
-  std::memcpy(dst, Slot(k), ctx_->layout->Length(k) * sizeof(Val));
-  ctx_->stats.local_key_reads.Add(1);
-  return true;
+  if (owned_hint) {
+    std::lock_guard<Latch> latch(ctx_->latches->ForKey(k));
+    if (ctx_->StateOf(k) == KeyState::kOwned) {
+      std::memcpy(dst, Slot(k), ctx_->layout->Length(k) * sizeof(Val));
+      ctx_->stats.local_key_reads.Add(1);
+      return true;
+    }
+  }
+  // Not owned (or lost between check and latch): a fresh pinned replica
+  // still counts as local -- w2v local-only negative sampling then keeps
+  // using contended hot words instead of dropping them. Still
+  // non-blocking: TryRead only takes the replica's own latch, the same
+  // bounded spin as the owned path above.
+  if (replicas_ != nullptr && replicas_->TryRead(k, dst)) {
+    ctx_->stats.replica_key_reads.Add(1);
+    return true;
+  }
+  return false;
 }
 
 bool Worker::IsLocal(Key k) const {

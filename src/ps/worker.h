@@ -68,6 +68,15 @@ class Worker {
   // Home-node strategy only; no-op otherwise.
   size_t Evict(const std::vector<Key>& keys);
 
+  // Pins keys into this node's replica store and registers the node as a
+  // replica holder at each key's home (so ownership moves invalidate the
+  // copy). From then on, pulls of the keys are served from node-local
+  // memory whenever the copy is within the staleness bound, and pushes
+  // write through (local fold + forward to owner). Fire-and-forget, like
+  // Evict; duplicates and already-pinned keys are skipped. Returns the
+  // number of keys newly pinned. No-op unless Config::replication is on.
+  size_t Replicate(const std::vector<Key>& keys);
+
   void Wait(uint64_t op) { tracker_->Wait(op); }
   void WaitAll() { tracker_->WaitAll(); }
   bool IsDone(uint64_t op) { return tracker_->IsDone(op); }
@@ -88,9 +97,10 @@ class Worker {
   void PushKey(Key k, const Val* update) { Push({k}, update); }
   void LocalizeKey(Key k) { Localize({k}); }
 
-  // Reads key k only if it is currently allocated at this node (used by the
+  // Reads key k only if it can be served from node-local memory: the node
+  // owns it, or a fresh replica of it is pinned here (used by the
   // word-vectors trainer to sample local-only negatives, Appendix A).
-  // Returns false without blocking if the key is not local.
+  // Returns false without blocking if neither holds.
   bool PullIfLocal(Key k, Val* dst);
 
   // True if key k is currently owned by this node (and the architecture
@@ -155,6 +165,10 @@ class Worker {
   bool fast_local_;
   bool dpa_enabled_;
   Val* dense_base_;  // non-null iff the node store is dense
+  // The node's replica store (null unless config.replication): consulted
+  // on the pull path after the owned check fails, so replicated contended
+  // keys are served from local memory instead of the message path.
+  ReplicaManager* replicas_ = nullptr;
   // Access sampling for the adaptive placement engine (null when disabled).
   adapt::SampleRing* sample_ring_ = nullptr;
   uint32_t sample_period_ = 0;

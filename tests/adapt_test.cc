@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <vector>
 
 #include "adapt/access_stats.h"
@@ -72,6 +73,9 @@ ps::AdaptiveConfig TestPolicyConfig() {
   cfg.churn_limit = 2;
   cfg.churn_forget_ticks = 1000;  // effectively off for these tests
   cfg.replicate_read_fraction = 0.9;
+  // These unit tests drive Tick() by hand and reason about one decay per
+  // call; disable the sample-rate window gate (tested separately below).
+  cfg.min_tick_samples = 0;
   return cfg;
 }
 
@@ -297,6 +301,122 @@ TEST(PlacementPolicyTest, OwnEvictionNeverCountsAsChurn) {
   EXPECT_EQ(policy.Classify(9, false), KeyClass::kHotRemote);
 }
 
+// One simulated manager tick: `hot_per_tick` samples of the hot key plus
+// the same number of scattered one-off noise keys, then a Tick() call.
+// Models boxes whose workers push different op rates through the same
+// wall-clock tick length.
+int LocalizesOverTicks(PlacementPolicy* policy, int tick_calls,
+                       int hot_per_tick, Key hot_key) {
+  auto owned = [](Key) { return false; };
+  auto home = [](Key) { return NodeId{1}; };
+  int localizes = 0;
+  Key noise = 1000;
+  for (int t = 0; t < tick_calls; ++t) {
+    for (int i = 0; i < hot_per_tick; ++i) {
+      policy->Record(hot_key, /*is_write=*/false);
+      policy->Record(noise++, /*is_write=*/false);
+    }
+    Decisions d;
+    policy->Tick(owned, home, &d);
+    for (const Key k : d.localize) {
+      if (k == hot_key) ++localizes;
+    }
+  }
+  return localizes;
+}
+
+TEST(PlacementPolicyTest, WindowsAutoTuneToObservedSampleRate) {
+  // hot_threshold 4 with min_tick_samples 32: a window closes only after
+  // 32 samples, so "hot" means >= 4 of 32 recent samples -- the same
+  // classification whether those 32 samples took one tick or sixteen.
+  ps::AdaptiveConfig cfg = TestPolicyConfig();
+  cfg.min_tick_samples = 32;
+
+  // Fast box: 16 hot + 16 noise samples per tick -- every tick closes.
+  PlacementPolicy fast(cfg, /*node=*/0);
+  EXPECT_GE(LocalizesOverTicks(&fast, 8, 16, 7), 1);
+
+  // Slow box, 16x fewer samples: 1 hot + 1 noise per tick. Windows close
+  // every 16 tick calls with the hot key at half the window mass, so the
+  // key still classifies hot.
+  PlacementPolicy slow(cfg, 0);
+  EXPECT_GE(LocalizesOverTicks(&slow, 8 * 16, 1, 7), 1);
+
+  // The same slow box WITHOUT the gate: each tick decays the single
+  // sample before the score can ever reach hot_threshold -- the bug the
+  // gate fixes (everything decays to noise; the hot key is never acted
+  // on).
+  ps::AdaptiveConfig raw = TestPolicyConfig();
+  raw.min_tick_samples = 0;
+  PlacementPolicy ungated(raw, 0);
+  EXPECT_EQ(LocalizesOverTicks(&ungated, 8 * 16, 1, 7), 0);
+}
+
+TEST(PlacementPolicyTest, ReplicatedKeysAreNeverLocalized) {
+  // A key served from a pinned replica must not be re-localized even
+  // after churn forgiveness drops its churn below the limit -- relocating
+  // it would invalidate every node's replica and restart the ping-pong.
+  PlacementPolicy policy(TestPolicyConfig(), 0);
+  auto owned = [](Key) { return false; };
+  auto home = [](Key) { return NodeId{1}; };
+  auto replicated = [](Key k) { return k == 7; };
+
+  for (int t = 0; t < 6; ++t) {
+    for (int i = 0; i < 8; ++i) policy.Record(7, false);  // stays hot
+    Decisions d;
+    policy.Tick(owned, home, replicated, &d);
+    EXPECT_TRUE(d.localize.empty()) << "tick " << t;
+  }
+}
+
+TEST(PlacementPolicyTest, IdleNodeStillDecaysAndEvicts) {
+  // With sample-gated windows, a node that stops issuing operations
+  // records no samples -- the stretch cap must still close windows so
+  // owned-but-cold keys decay toward eviction instead of being pinned
+  // open forever.
+  ps::AdaptiveConfig cfg = TestPolicyConfig();
+  cfg.min_tick_samples = 32;
+  cfg.cold_ticks_to_evict = 2;
+  PlacementPolicy policy(cfg, 0);
+  auto owned = [](Key k) { return k == 9; };
+  auto home = [](Key) { return NodeId{1}; };
+
+  // Warm the key up with one closed window, then go completely idle.
+  for (int i = 0; i < 32; ++i) policy.Record(9, false);
+  Decisions d;
+  policy.Tick(owned, home, &d);
+  ASSERT_EQ(policy.ticks(), 1);
+
+  bool evicted = false;
+  for (int t = 0; t < 64 * 16 && !evicted; ++t) {
+    Decisions dt;
+    policy.Tick(owned, home, &dt);
+    for (const Key k : dt.evict) evicted |= (k == 9);
+  }
+  EXPECT_TRUE(evicted) << "idle node never evicted its cold key";
+}
+
+TEST(PlacementPolicyTest, StarvedTicksDoNotDecayScores) {
+  ps::AdaptiveConfig cfg = TestPolicyConfig();
+  cfg.min_tick_samples = 8;
+  PlacementPolicy policy(cfg, 0);
+  auto owned = [](Key) { return false; };
+  auto home = [](Key) { return NodeId{1}; };
+
+  for (int i = 0; i < 6; ++i) policy.Record(5, false);
+  Decisions d;
+  policy.Tick(owned, home, &d);  // 6 < 8: window stays open, no decay
+  EXPECT_DOUBLE_EQ(policy.Score(5), 6.0);
+  EXPECT_TRUE(d.localize.empty());
+  EXPECT_EQ(policy.ticks(), 0);
+
+  for (int i = 0; i < 2; ++i) policy.Record(5, false);
+  policy.Tick(owned, home, &d);  // 8th sample closes the window
+  EXPECT_EQ(policy.ticks(), 1);
+  ASSERT_EQ(d.localize.size(), 1u);  // score 8 >= hot_threshold 4
+  EXPECT_DOUBLE_EQ(policy.Score(5), 4.0);  // decayed exactly once
+}
+
 TEST(PlacementPolicyTest, StolenKeyIsReRequestedAfterRetryTicks) {
   PlacementPolicy policy(TestPolicyConfig(), 0);
   // The key never shows up as owned at any tick boundary: it was
@@ -443,6 +563,48 @@ TEST(AdaptiveEngineTest, ContendedReadMostlyKeyIsFlaggedAndHookRuns) {
     flags += system.placement_manager(n).stats().replication_flags;
   }
   EXPECT_GT(flags, 0);
+}
+
+TEST(AdaptiveEngineTest, HookInstalledAfterFlagsFireGetsThemReplayed) {
+  // Regression: flags emitted before SetReplicationHook was called used to
+  // be dropped silently (each key is flagged exactly once, so a late hook
+  // never heard about them at all).
+  ps::Config cfg = AdaptiveConfig2Nodes();
+  cfg.adaptive.churn_limit = 1;
+  ps::PsSystem system(cfg);
+  const Key contended = 40;
+
+  // Phase 1: NO hook installed; run until some node flags the key.
+  system.Run([&](ps::Worker& w) {
+    std::vector<Val> buf(4);
+    Timer t;
+    while (t.ElapsedSeconds() < 20.0) {
+      w.Pull({contended}, buf.data());
+      int64_t flags = 0;
+      for (int n = 0; n < cfg.num_nodes; ++n) {
+        flags += system.placement_manager(n).stats().replication_flags;
+      }
+      if (flags > 0) return;
+    }
+  });
+  std::vector<Key> flagged_before;
+  for (int n = 0; n < cfg.num_nodes; ++n) {
+    const auto f = system.placement_manager(n).ReplicationFlagged();
+    flagged_before.insert(flagged_before.end(), f.begin(), f.end());
+  }
+  ASSERT_FALSE(flagged_before.empty()) << "no node flagged the key in time";
+
+  // Phase 2: install the hook AFTER the flags fired; it must be replayed
+  // every earlier flag immediately, from the installing thread.
+  std::mutex mu;
+  std::vector<Key> replayed;
+  system.SetReplicationHook([&](NodeId, const std::vector<Key>& keys) {
+    std::lock_guard<std::mutex> lock(mu);
+    replayed.insert(replayed.end(), keys.begin(), keys.end());
+  });
+  std::lock_guard<std::mutex> lock(mu);
+  EXPECT_EQ(replayed.size(), flagged_before.size());
+  for (const Key k : replayed) EXPECT_EQ(k, contended);
 }
 
 TEST(AdaptiveEngineTest, DisabledEngineChangesNothing) {

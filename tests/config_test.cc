@@ -144,6 +144,35 @@ TEST(ConfigValidationDeathTest, ReplicateFractionOutOfRangeDies) {
   EXPECT_DEATH(cfg.Normalize(), "replicate_read_fraction");
 }
 
+// ---- replication knobs -------------------------------------------------
+
+TEST(ConfigValidationTest, ReplicationDefaultsAreValid) {
+  ps::Config cfg = ValidConfig();
+  cfg.replication = true;
+  cfg.Normalize();  // must not die
+}
+
+TEST(ConfigValidationDeathTest, ReplicationNeedsLapseArchitecture) {
+  ps::Config cfg = ValidConfig();
+  cfg.replication = true;
+  cfg.arch = ps::Architecture::kClassicFastLocal;
+  EXPECT_DEATH(cfg.Normalize(), "replication");
+}
+
+TEST(ConfigValidationDeathTest, ReplicationNeedsHomeNodeStrategy) {
+  ps::Config cfg = ValidConfig();
+  cfg.replication = true;
+  cfg.strategy = ps::LocationStrategy::kBroadcastRelocations;
+  EXPECT_DEATH(cfg.Normalize(), "replica directory");
+}
+
+TEST(ConfigValidationDeathTest, NonPositiveReplicaStalenessDies) {
+  ps::Config cfg = ValidConfig();
+  cfg.replication = true;
+  cfg.replica_staleness_micros = 0;
+  EXPECT_DEATH(cfg.Normalize(), "replica_staleness_micros");
+}
+
 // ---- stale (bounded-staleness) PS --------------------------------------
 
 stale::SspConfig ValidSspConfig() {

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "ps/system.h"
+#include "util/timer.h"
 
 // Location-management strategies of Table 3: message counts for remote
 // access and relocation, plus functional correctness of each strategy.
@@ -102,9 +103,18 @@ TEST(BroadcastRelocationsTest, AccessAfterRelocationGoesDirect) {
   system.Run([&](Worker& w) {
     if (w.node() == 2) w.Localize({0});
     w.Barrier();
-    // All nodes learned the new location via direct mail; node 3 reads with
-    // exactly 2 messages.
+    // Once a node learned the new location via direct mail, it reads with
+    // exactly 2 messages. The direct-mail update is fire-and-forget and
+    // the barrier only orders the *workers*, so wait until node 3's
+    // server actually processed the update -- pulling earlier would
+    // (correctly) take the 3-message forward path and flake the count.
     if (w.node() == 3) {
+      Timer t;
+      while (system.node_context(3).owners->Owner(0) != 2 &&
+             t.ElapsedSeconds() < 20.0) {
+      }
+      ASSERT_EQ(system.node_context(3).owners->Owner(0), 2)
+          << "direct-mail location update never arrived";
       system.net_stats().Reset();
       std::vector<Val> buf(2);
       w.Pull({0}, buf.data());
