@@ -22,8 +22,16 @@
 // pays roughly one refresh round-trip per pinned key per staleness
 // window, so keep the bound well above the interconnect round-trip time
 // or replicas thrash.
+//
+// A second suite measures WRITE AGGREGATION on a write-heavy mix
+// (--write-frac, default 0.5): the same pinned hot set, manual pinning
+// (isolating aggregation from detection), aggregation on vs off. The
+// "owner-bound messages" rows count kPush messages on the wire during the
+// measure phase -- Petuum-style accumulators must cut them by >= 2x.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <vector>
 
 #include "bench_common.h"
@@ -102,9 +110,15 @@ RunResult RunWorkload(bool replication) {
 
     for (int round = 0; round < total_rounds; ++round) {
       w.Barrier();
-      if (node == 0 && round == kWarmupRounds) {
-        remote_at_measure_start =
-            system.TotalRemoteReads() + system.TotalRemoteWrites();
+      if (round == kWarmupRounds) {
+        // Snapshot between two barriers so no worker has started the
+        // measure round yet -- sampling after a single barrier would
+        // absorb the first measured pushes into the baseline.
+        if (node == 0) {
+          remote_at_measure_start =
+              system.TotalRemoteReads() + system.TotalRemoteWrites();
+        }
+        w.Barrier();
       }
       if (node == 0) round_timer.Restart();
       for (int64_t i = 0; i < kOpsPerRound; ++i) {
@@ -150,17 +164,114 @@ void PrintRun(const char* name, const RunResult& r) {
       static_cast<long long>(r.keys_pinned));
 }
 
+// ---- write-heavy suite: aggregation on vs off --------------------------
+
+constexpr uint64_t kPinnedRanks = 64;  // the shared hot set every node pins
+constexpr int kWriteWarmupRounds = 1;
+constexpr int kWriteMeasureRounds = 2;
+
+struct WriteHeavyResult {
+  double steady_ops_per_sec = 0;
+  int64_t owner_push_msgs = 0;  // kPush messages during the measure phase
+  int64_t folds = 0;            // pushes aggregated locally
+};
+
+WriteHeavyResult RunWriteHeavy(double write_frac, bool aggregation) {
+  ps::Config cfg = BenchConfig(/*replication=*/true);
+  // Isolate aggregation from detection: no adaptive engine, the hot set
+  // is pinned manually by every node before the measured rounds.
+  cfg.adaptive.enabled = false;
+  cfg.replica_write_aggregation = aggregation;
+  ps::PsSystem system(cfg);
+  const ZipfSampler zipf(kKeys, kZipfExponent);
+  const int total_rounds = kWriteWarmupRounds + kWriteMeasureRounds;
+  WriteHeavyResult result;
+  std::vector<double> round_secs(total_rounds, 0.0);
+  int64_t push_msgs_at_measure_start = 0;
+
+  system.Run([&](ps::Worker& w) {
+    const NodeId node = w.node();
+    Rng& rng = w.rng();
+    std::vector<Val> buf(kLen);
+    std::vector<Val> upd(kLen, 0.01f);
+    std::vector<Key> one(1);
+    std::vector<Key> hot;
+    for (uint64_t r = 0; r < kPinnedRanks; ++r) hot.push_back(KeyFor(r));
+    w.Replicate(hot);
+    w.Barrier();  // every node pinned before anyone measures
+    Timer round_timer;
+
+    for (int round = 0; round < total_rounds; ++round) {
+      w.Barrier();
+      if (round == kWriteWarmupRounds) {
+        // Snapshot between two barriers: no worker is pushing while the
+        // baseline message count is read.
+        if (node == 0) {
+          push_msgs_at_measure_start =
+              system.net_stats().MessagesOfType(net::MsgType::kPush);
+        }
+        w.Barrier();
+      }
+      if (node == 0) round_timer.Restart();
+      for (int64_t i = 0; i < kOpsPerRound; ++i) {
+        one[0] = KeyFor(zipf.Sample(rng));
+        if (rng.Bernoulli(write_frac)) {
+          w.Push(one, upd.data());
+        } else {
+          w.Pull(one, buf.data());
+        }
+      }
+      w.Barrier();
+      if (node == 0) round_secs[round] = round_timer.ElapsedSeconds();
+    }
+  });
+
+  const double per_round_ops =
+      static_cast<double>(kOpsPerRound * kNodes * kWorkersPerNode);
+  double steady_secs = 0;
+  for (int r = kWriteWarmupRounds; r < total_rounds; ++r) {
+    steady_secs += round_secs[r];
+  }
+  result.steady_ops_per_sec =
+      per_round_ops * kWriteMeasureRounds / steady_secs;
+  result.owner_push_msgs =
+      system.net_stats().MessagesOfType(net::MsgType::kPush) -
+      push_msgs_at_measure_start;
+  for (NodeId n = 0; n < kNodes; ++n) {
+    result.folds += system.replica_manager(n)->stats().folds;
+  }
+  return result;
+}
+
 }  // namespace
 }  // namespace lapse
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lapse;
+  double write_frac = 0.5;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--write-frac") == 0 && i + 1 < argc) {
+      write_frac = std::atof(argv[++i]);
+    } else if (std::strncmp(argv[i], "--write-frac=", 13) == 0) {
+      write_frac = std::atof(argv[i] + 13);
+    } else {
+      std::fprintf(stderr, "usage: %s [--write-frac F]\n", argv[0]);
+      return 1;
+    }
+  }
+  if (write_frac < 0.0 || write_frac > 1.0) {
+    std::fprintf(stderr, "--write-frac must be in [0, 1]\n");
+    return 1;
+  }
+
   bench::PrintBanner(
-      "micro_replication: contended read-mostly hot set, all nodes reading",
+      "micro_replication: contended hot set shared by all nodes",
       "closes the gap the paper concedes on contended keys: detection "
-      "(contended/read-mostly) was PR 2, this serves the reads",
-      "shared Zipf hot set scattered over all homes; adaptive engine on "
-      "in both runs; only Config::replication differs");
+      "(contended/read-mostly) was PR 2, replica-served reads PR 3, "
+      "aggregated writes PR 4",
+      "read-mostly suite: shared Zipf hot set, adaptive engine on in both "
+      "runs, only Config::replication differs. write-heavy suite: manual "
+      "pinning, only Config::replica_write_aggregation differs");
 
   std::printf("replication off (adaptive only)...\n");
   const RunResult off = RunWorkload(/*replication=*/false);
@@ -173,11 +284,43 @@ int main() {
   std::printf("steady-state speedup: %.2fx\n",
               on.steady_ops_per_sec / off.steady_ops_per_sec);
 
+  std::printf("write-heavy mix (write-frac %.2f), aggregation off...\n",
+              write_frac);
+  const WriteHeavyResult agg_off =
+      RunWriteHeavy(write_frac, /*aggregation=*/false);
+  std::printf("  [off] steady %.0f ops/s, %lld owner-bound push msgs\n",
+              agg_off.steady_ops_per_sec,
+              static_cast<long long>(agg_off.owner_push_msgs));
+  std::printf("write-heavy mix, aggregation on...\n");
+  const WriteHeavyResult agg_on =
+      RunWriteHeavy(write_frac, /*aggregation=*/true);
+  std::printf(
+      "  [on]  steady %.0f ops/s, %lld owner-bound push msgs, "
+      "%lld folds\n",
+      agg_on.steady_ops_per_sec,
+      static_cast<long long>(agg_on.owner_push_msgs),
+      static_cast<long long>(agg_on.folds));
+  const double reduction =
+      agg_on.owner_push_msgs > 0
+          ? static_cast<double>(agg_off.owner_push_msgs) /
+                static_cast<double>(agg_on.owner_push_msgs)
+          : 0.0;
+  std::printf("owner-bound message reduction: %.2fx (bar >= 2)\n",
+              reduction);
+
   const std::vector<bench::JsonMetric> metrics = {
       {"throughput", on.steady_ops_per_sec, off.steady_ops_per_sec},
       {"replica_reads", static_cast<double>(on.replica_reads), 0.0},
       {"remote_ops", static_cast<double>(on.steady_remote_ops),
        static_cast<double>(off.steady_remote_ops)},
+      // Write-heavy rows: value = aggregation on, baseline = off. The
+      // owner-message acceptance bar is reduction (baseline/value) >= 2,
+      // recorded explicitly as write_owner_msg_reduction.
+      {"write_throughput", agg_on.steady_ops_per_sec,
+       agg_off.steady_ops_per_sec},
+      {"write_owner_msgs", static_cast<double>(agg_on.owner_push_msgs),
+       static_cast<double>(agg_off.owner_push_msgs)},
+      {"write_owner_msg_reduction", reduction, 2.0},
   };
   if (!bench::WriteBenchJson("BENCH_replication.json", "micro_replication",
                              metrics)) {

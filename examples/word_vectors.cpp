@@ -15,7 +15,13 @@
 //                                             are pinned into per-node
 //                                             replicas instead of
 //                                             ping-ponging; PullIfLocal
-//                                             negatives hit them too
+//                                             negatives hit them too.
+//                                             Pushes to pinned words fold
+//                                             into local accumulators and
+//                                             flush in batches (write
+//                                             aggregation; add
+//                                             --write-through to compare
+//                                             against per-push forwarding)
 
 #include <cstdio>
 #include <cstring>
@@ -25,11 +31,29 @@
 
 int main(int argc, char** argv) {
   using namespace lapse;
-  const bool replication =
-      argc > 1 && std::strcmp(argv[1], "--replication") == 0;
-  const bool auto_placement =
-      replication ||
-      (argc > 1 && std::strcmp(argv[1], "--auto-placement") == 0);
+  bool replication = false;
+  bool auto_placement = false;
+  bool write_through = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--replication") == 0) {
+      replication = true;
+    } else if (std::strcmp(argv[i], "--auto-placement") == 0) {
+      auto_placement = true;
+    } else if (std::strcmp(argv[i], "--write-through") == 0) {
+      write_through = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--auto-placement | --replication "
+                   "[--write-through]]\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+  auto_placement |= replication;
+  if (write_through && !replication) {
+    std::fprintf(stderr, "--write-through requires --replication\n");
+    return 1;
+  }
 
   w2v::CorpusGenConfig gen;
   gen.vocab_size = 1500;
@@ -57,9 +81,11 @@ int main(int argc, char** argv) {
                                      net::LatencyConfig::Lan());
   pscfg.adaptive.enabled = auto_placement;
   pscfg.replication = replication;
-  std::printf("placement: %s%s\n",
+  pscfg.replica_write_aggregation = !write_through;
+  std::printf("placement: %s%s%s\n",
               auto_placement ? "adaptive engine" : "manual Localize()",
-              replication ? " + replication" : "");
+              replication ? " + replication" : "",
+              replication && write_through ? " (write-through)" : "");
   ps::PsSystem system(pscfg);
   InitW2vParams(system, corpus, cfg);
 

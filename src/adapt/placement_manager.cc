@@ -73,6 +73,7 @@ AdaptStats PlacementManager::stats() const {
   s.evictions_issued = n_evictions_.load(std::memory_order_relaxed);
   s.replication_flags = n_flags_.load(std::memory_order_relaxed);
   s.replicas_pinned = n_pinned_.load(std::memory_order_relaxed);
+  s.replicas_unpinned = n_unpinned_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -134,6 +135,7 @@ void PlacementManager::Tick() {
   decisions_scratch_.localize.clear();
   decisions_scratch_.evict.clear();
   decisions_scratch_.replicate.clear();
+  decisions_scratch_.unreplicate.clear();
   const ps::NodeContext* ctx = ctx_;
   policy_.Tick(
       [ctx](Key k) { return ctx->StateOf(k) == ps::KeyState::kOwned; },
@@ -177,6 +179,16 @@ void PlacementManager::Tick() {
         static_cast<int64_t>(decisions_scratch_.replicate.size()),
         std::memory_order_relaxed);
     if (hook) hook(decisions_scratch_.replicate);
+  }
+  if (!decisions_scratch_.unreplicate.empty() &&
+      ctx_->replicas != nullptr) {
+    // The pin stopped paying for itself: drain pending folds, drop the
+    // pin, unregister at the homes. The policy wiped the keys' churn
+    // slate, so they are ordinary localize candidates from here on.
+    const size_t unpinned =
+        worker_->Unreplicate(decisions_scratch_.unreplicate);
+    n_unpinned_.fetch_add(static_cast<int64_t>(unpinned),
+                          std::memory_order_relaxed);
   }
 }
 

@@ -29,6 +29,10 @@ struct AdaptStats {
   // Flagged keys actually pinned into the node's ReplicaManager (0 unless
   // Config::replication is on).
   int64_t replicas_pinned = 0;
+  // Pinned keys unpinned again by policy decision (read fraction dropped
+  // below unreplicate_read_fraction, or cold for unreplicate_cold_windows
+  // windows).
+  int64_t replicas_unpinned = 0;
 };
 
 // Per-node background thread that makes relocation automatic: drains the
@@ -105,6 +109,7 @@ class PlacementManager {
   std::atomic<int64_t> n_evictions_{0};
   std::atomic<int64_t> n_flags_{0};
   std::atomic<int64_t> n_pinned_{0};
+  std::atomic<int64_t> n_unpinned_{0};
 
   std::thread thread_;
 };

@@ -101,7 +101,35 @@ void PlacementPolicy::Tick(const std::function<bool(Key)>& owned,
     }
     if (s.evicting && !own) s.evicting = false;
 
-    if (own) {
+    const bool pinned = replicated(k);
+    if (pinned) {
+      // Served from a pinned replica here: never a localize or eviction
+      // candidate. Instead, watch whether the pin still pays for itself:
+      // it does while the key stays warm AND read-mostly. Cold windows
+      // (pure memory + invalidation overhead) and write-heavy windows
+      // (flush traffic for reads nobody makes; relocation serves that
+      // mix better) both build unpin pressure -- one shared hysteresis
+      // counter, so a window's classification noise cannot unpin on its
+      // own and there is no dead band between the two conditions.
+      s.cold_ticks = 0;
+      const double read_fraction =
+          score <= 0.0 ? 1.0 : static_cast<double>(s.reads) / score;
+      const bool paying =
+          score >= config_.cold_threshold &&
+          read_fraction >= config_.unreplicate_read_fraction;
+      if (paying) {
+        s.replica_cold_ticks = 0;
+      } else if (++s.replica_cold_ticks >=
+                 static_cast<uint16_t>(config_.unreplicate_cold_windows)) {
+        out->unreplicate.push_back(k);
+        s.replica_cold_ticks = 0;
+        // The unpinned key starts a fresh life: localizable again, and
+        // re-flaggable if contention rebuilds.
+        s.churn = 0;
+        s.flagged = false;
+      }
+    } else if (own) {
+      s.replica_cold_ticks = 0;
       // Eviction with hysteresis: an owned key whose home is elsewhere must
       // score cold for cold_ticks_to_evict consecutive ticks before it is
       // handed back; one warm tick resets the countdown.
@@ -118,6 +146,7 @@ void PlacementPolicy::Tick(const std::function<bool(Key)>& owned,
       }
     } else {
       s.cold_ticks = 0;
+      s.replica_cold_ticks = 0;
       if (score >= config_.hot_threshold && !s.requested && !s.evicting) {
         if (s.churn >= config_.churn_limit) {
           // Contended: relocating keeps ping-ponging. Stop localizing; if
@@ -129,11 +158,7 @@ void PlacementPolicy::Tick(const std::function<bool(Key)>& owned,
             s.flagged = true;
             out->replicate.push_back(k);
           }
-        } else if (!replicated(k) &&
-                   out->localize.size() < config_.max_localizes_per_tick) {
-          // Replica-served keys are excluded: churn forgiveness would
-          // otherwise periodically re-localize a pinned key, invalidating
-          // every node's replica and restarting the ping-pong.
+        } else if (out->localize.size() < config_.max_localizes_per_tick) {
           out->localize.push_back(k);
           s.requested = true;
         }
@@ -142,10 +167,12 @@ void PlacementPolicy::Tick(const std::function<bool(Key)>& owned,
 
     // Close the window: decay, and retire entries with nothing left to
     // remember. Owned keys are kept tracked regardless of score -- their
-    // entry is what drives the eventual eviction.
+    // entry is what drives the eventual eviction -- and so are pinned
+    // keys: their entry is what drives the eventual unpin.
     s.reads *= decay;
     s.writes *= decay;
-    if (!own && !s.requested && !s.evicting && !s.flagged && s.churn == 0 &&
+    if (!own && !pinned && !s.requested && !s.evicting && !s.flagged &&
+        s.churn == 0 &&
         static_cast<double>(s.reads + s.writes) < kEpsilon) {
       it = stats_.erase(it);
     } else {

@@ -23,11 +23,18 @@ enum class KeyClass {
 const char* KeyClassName(KeyClass c);
 
 // Placement actions one Tick() decided on. Keys appear at most once across
-// the three lists.
+// the four lists.
 struct Decisions {
   std::vector<Key> localize;   // request relocation to this node
   std::vector<Key> evict;      // hand back to the home node
   std::vector<Key> replicate;  // newly flagged contended read-mostly keys
+  // Pinned keys whose pin stopped paying for itself for
+  // unreplicate_cold_windows consecutive closed windows (cold, or warm
+  // but write-heavy: read fraction below unreplicate_read_fraction). The
+  // manager unpins them (Worker::Unreplicate); their churn slate is
+  // wiped here, so they are immediately eligible for localize (and
+  // re-replication) again.
+  std::vector<Key> unreplicate;
 };
 
 // Per-node placement policy: decaying per-key access scores, hot/cold
@@ -68,7 +75,14 @@ class PlacementPolicy {
   // decays and eventually evicts its cold keys. `replicated` marks keys
   // this node serves from a pinned replica: they are never localize
   // candidates (relocating one would invalidate every holder and restart
-  // the ping-pong the pin stopped).
+  // the ping-pong the pin stopped); instead the policy watches whether
+  // the pin still pays for itself and emits an unreplicate decision once
+  // the key fails to (cold, or warm but write-heavy -- read fraction
+  // below unreplicate_read_fraction) for unreplicate_cold_windows
+  // consecutive closed windows. Note the
+  // policy can only unpin keys it tracks: pinned keys are exempt from
+  // entry retirement while samples exist, but a key pinned before it was
+  // ever sampled stays pinned until it shows up in a sample.
   void Tick(const std::function<bool(Key)>& owned,
             const std::function<NodeId(Key)>& home,
             const std::function<bool(Key)>& replicated, Decisions* out);
@@ -94,6 +108,10 @@ class PlacementPolicy {
     float writes = 0;
     // Consecutive ticks this owned-away-from-home key scored cold.
     uint16_t cold_ticks = 0;
+    // Consecutive closed windows this *pinned* key failed to pay for its
+    // replica -- cold, or warm but write-heavy (drives policy-initiated
+    // unpinning).
+    uint16_t replica_cold_ticks = 0;
     // Ticks spent waiting for an issued localize to show up as ownership.
     uint8_t requested_ticks = 0;
     // Times the key was taken away from us while still warm.

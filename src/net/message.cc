@@ -77,6 +77,8 @@ const char* MsgTypeName(MsgType type) {
       return "ReplicaRegister";
     case MsgType::kReplicaInvalidate:
       return "ReplicaInvalidate";
+    case MsgType::kReplicaUnregister:
+      return "ReplicaUnregister";
     case MsgType::kSspRead:
       return "SspRead";
     case MsgType::kSspReadResp:

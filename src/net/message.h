@@ -35,6 +35,7 @@ enum class MsgType : uint8_t {
   // -- replication of contended read-mostly keys (ps::ReplicaManager) ---
   kReplicaRegister,   // replica holder -> home: pin notification
   kReplicaInvalidate, // home -> replica holders: ownership moved, drop copy
+  kReplicaUnregister, // ex-holder -> home: unpinned, stop invalidating me
   // -- stale PS (Petuum-like, Section 4.5) ------------------------------
   kSspRead,           // replica miss/staleness: fetch from owner
   kSspReadResp,       // owner -> reader: fresh value + owner clock

@@ -98,6 +98,19 @@ void Config::Validate() const {
     LAPSE_CHECK(adaptive.replicate_read_fraction >= 0.0 &&
                 adaptive.replicate_read_fraction <= 1.0)
         << "Config: adaptive.replicate_read_fraction must be in [0, 1]";
+    LAPSE_CHECK(adaptive.unreplicate_read_fraction >= 0.0 &&
+                adaptive.unreplicate_read_fraction <= 1.0)
+        << "Config: adaptive.unreplicate_read_fraction must be in [0, 1]";
+    LAPSE_CHECK_LE(adaptive.unreplicate_read_fraction,
+                   adaptive.replicate_read_fraction)
+        << "Config: adaptive.unreplicate_read_fraction must not exceed "
+           "replicate_read_fraction (the gap is the pin/unpin hysteresis "
+           "band; equal values mean no band)";
+    LAPSE_CHECK_GE(adaptive.unreplicate_cold_windows, 1)
+        << "Config: adaptive.unreplicate_cold_windows must be >= 1";
+    LAPSE_CHECK_LE(adaptive.unreplicate_cold_windows, 65535)
+        << "Config: adaptive.unreplicate_cold_windows must fit the "
+           "policy's 16-bit cold-window counter";
     LAPSE_CHECK_GE(adaptive.max_localizes_per_tick, 1u)
         << "Config: adaptive.max_localizes_per_tick must be >= 1";
   }
@@ -115,6 +128,20 @@ void Config::Validate() const {
     LAPSE_CHECK_GT(replica_staleness_micros, 0)
         << "Config: replica_staleness_micros must be positive (it bounds "
            "how stale a replica-served read may be)";
+    if (replica_write_aggregation) {
+      LAPSE_CHECK_GT(replica_flush_micros, 0)
+          << "Config: replica_flush_micros must be positive (it bounds how "
+             "long an aggregated write may sit in a local accumulator)";
+      LAPSE_CHECK_GE(replica_flush_max_folds, 1u)
+          << "Config: replica_flush_max_folds must be >= 1 (0 would never "
+             "trigger a count-based flush and overflow nothing into the "
+             "age trigger's contract)";
+      LAPSE_CHECK_LE(replica_flush_micros, replica_staleness_micros)
+          << "Config: replica_flush_micros must not exceed "
+             "replica_staleness_micros -- folds held back longer than the "
+             "staleness bound would make other holders' replica-served "
+             "reads lag the bounded-staleness contract";
+    }
   }
 }
 

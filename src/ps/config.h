@@ -74,6 +74,19 @@ struct AdaptiveConfig {
   // Read fraction at/above which a contended key is flagged for pinning
   // into a replica store (see PlacementManager::SetReplicationHook).
   double replicate_read_fraction = 0.9;
+  // A pinned key's replica "pays for itself" in a window when the key
+  // stays warm (score >= cold_threshold) AND read-mostly (read fraction
+  // >= this). Must be <= replicate_read_fraction; the gap is the
+  // pin/unpin hysteresis band.
+  double unreplicate_read_fraction = 0.5;
+  // Consecutive closed windows a pin must fail to pay for itself --
+  // cold, or warm but write-heavy (the mix shifted: every holder pays
+  // flush traffic for reads nobody makes) -- before the key is unpinned.
+  // Unpinned keys are eligible for localize/eviction again. Note the
+  // policy can only unpin keys it has tracked samples for: a key pinned
+  // manually and then never accessed again from a sampled operation
+  // stays pinned.
+  int unreplicate_cold_windows = 8;
   // Cap on localize requests issued per node per tick.
   size_t max_localizes_per_tick = 1024;
   // Minimum number of drained samples before a policy window closes.
@@ -125,6 +138,23 @@ struct Config {
   // keep it well above the interconnect round-trip time or replicas
   // thrash (see bench/micro_replication.cc).
   int64_t replica_staleness_micros = 2000;
+  // Write aggregation (Petuum-style accumulators): pushes to pinned keys
+  // fold into a per-key local accumulator instead of paying one owner
+  // round-trip each; accumulators are flushed to the owners in batches,
+  // one coalesced message per destination node. Off reverts to PR-3
+  // write-through (every push forwarded immediately).
+  bool replica_write_aggregation = true;
+  // A flush is due once the oldest unflushed fold on the node is this
+  // old. Must be <= replica_staleness_micros: folds older than the
+  // staleness bound would make other nodes' replica-served reads lag the
+  // contract. Flush triggers ride the push path, so a node that stops
+  // pushing entirely flushes its last folds when its workers wind down
+  // (Worker teardown) rather than on this timer.
+  int64_t replica_flush_micros = 500;
+  // A key's accumulator is flushed once it holds this many folds, even if
+  // the age trigger has not fired yet. 1 flushes every push (write-through
+  // message count, still batched per destination).
+  uint32_t replica_flush_max_folds = 32;
 
   // Normalizes dependent options (classic architectures force the static
   // partition strategy and disable caches) and validates ranges. Dies with

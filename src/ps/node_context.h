@@ -82,6 +82,12 @@ struct ServerStats {
   // reads of contended keys; neither local_key_reads nor remote). Kept
   // last so the hot counters above stay on their established cache lines.
   Counter replica_key_reads;
+  // Pushes folded into the node's replica write accumulators (no owner
+  // message paid), and holders dropped from this home's replica directory
+  // by kReplicaUnregister. Appended after replica_key_reads for the same
+  // cache-line reason.
+  Counter replica_key_writes;
+  Counter replica_unregisters;
   void Reset() {
     local_key_reads.Reset();
     remote_key_reads.Reset();
@@ -93,6 +99,8 @@ struct ServerStats {
     evictions_received.Reset();
     for (auto& b : backlog_ns) b.Reset();
     replica_key_reads.Reset();
+    replica_key_writes.Reset();
+    replica_unregisters.Reset();
   }
 };
 

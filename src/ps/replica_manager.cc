@@ -9,10 +9,17 @@ namespace lapse {
 namespace ps {
 
 ReplicaManager::ReplicaManager(const KeyLayout* layout,
-                               int64_t staleness_micros, size_t num_latches)
+                               int64_t staleness_micros, size_t num_latches,
+                               bool aggregate_writes, int64_t flush_micros,
+                               uint32_t flush_max_folds)
     : layout_(layout),
       staleness_ns_(staleness_micros * 1000),
+      aggregate_(aggregate_writes),
+      flush_ns_(flush_micros * 1000),
+      flush_max_folds_(flush_max_folds),
       values_(layout->num_keys()),
+      acc_(layout->num_keys()),
+      fold_counts_(layout->num_keys(), 0),
       install_ns_(layout->num_keys()),
       pinned_(layout->num_keys()),
       latches_(num_latches) {
@@ -23,20 +30,39 @@ ReplicaManager::ReplicaManager(const KeyLayout* layout,
 void ReplicaManager::Pin(Key k) {
   std::lock_guard<Latch> latch(latches_.ForKey(k));
   if (IsPinned(k)) return;
-  // The buffer exists before the pin flag is published, so a reader that
-  // sees the flag always finds it (it starts absent either way).
-  values_[k] = std::make_unique<Val[]>(layout_->Length(k));
+  // The buffers exist before the pin flag is published, so a reader that
+  // sees the flag always finds them (the copy starts absent either way).
+  const size_t len = layout_->Length(k);
+  values_[k] = std::make_unique<Val[]>(len);
+  if (aggregate_) {
+    acc_[k] = std::make_unique<Val[]>(len);
+    std::memset(acc_[k].get(), 0, len * sizeof(Val));
+    fold_counts_[k] = 0;
+  }
   pinned_[k].store(1, std::memory_order_release);
   n_pinned_.fetch_add(1, std::memory_order_relaxed);
 }
 
-void ReplicaManager::Unpin(Key k) {
+bool ReplicaManager::Unpin(Key k, Val* pending) {
   std::lock_guard<Latch> latch(latches_.ForKey(k));
-  if (!IsPinned(k)) return;
+  if (!IsPinned(k)) return false;
+  bool had_folds = false;
+  if (aggregate_ && fold_counts_[k] > 0) {
+    had_folds = true;
+    if (pending != nullptr) {
+      std::memcpy(pending, acc_[k].get(),
+                  layout_->Length(k) * sizeof(Val));
+    }
+    fold_counts_[k] = 0;  // the dirty-list entry becomes a skipped no-op
+    NoteKeyDrained();
+  }
   pinned_[k].store(0, std::memory_order_release);
   install_ns_[k].store(kAbsent, std::memory_order_release);
   values_[k].reset();
+  acc_[k].reset();
   n_pinned_.fetch_sub(1, std::memory_order_relaxed);
+  n_unpins_.fetch_add(1, std::memory_order_relaxed);
+  return had_folds && pending != nullptr;
 }
 
 bool ReplicaManager::TryRead(Key k, Val* dst) {
@@ -62,7 +88,15 @@ bool ReplicaManager::TryRead(Key k, Val* dst) {
 void ReplicaManager::Install(Key k, const Val* data) {
   std::lock_guard<Latch> latch(latches_.ForKey(k));
   if (!IsPinned(k)) return;
-  std::memcpy(values_[k].get(), data, layout_->Length(k) * sizeof(Val));
+  const size_t len = layout_->Length(k);
+  std::memcpy(values_[k].get(), data, len * sizeof(Val));
+  if (aggregate_ && fold_counts_[k] > 0) {
+    // Pending folds postdate any owner snapshot: put them back on top so
+    // the visible copy keeps this node's own unflushed writes.
+    Val* slot = values_[k].get();
+    const Val* acc = acc_[k].get();
+    for (size_t i = 0; i < len; ++i) slot[i] += acc[i];
+  }
   install_ns_[k].store(NowNanos(), std::memory_order_release);
   n_installs_.fetch_add(1, std::memory_order_relaxed);
 }
@@ -73,6 +107,67 @@ void ReplicaManager::Accumulate(Key k, const Val* update) {
   Val* slot = values_[k].get();
   const size_t len = layout_->Length(k);
   for (size_t i = 0; i < len; ++i) slot[i] += update[i];
+}
+
+ReplicaManager::FoldOutcome ReplicaManager::FoldWrite(Key k,
+                                                      const Val* update) {
+  if (!aggregate_ || !IsPinned(k)) return FoldOutcome::kNotAggregated;
+  const int64_t now = NowNanos();
+  std::lock_guard<Latch> latch(latches_.ForKey(k));
+  if (!IsPinned(k)) return FoldOutcome::kNotAggregated;  // raced an unpin
+  const size_t len = layout_->Length(k);
+  Val* acc = acc_[k].get();
+  for (size_t i = 0; i < len; ++i) acc[i] += update[i];
+  // Read-your-writes: fold into the visible copy too (when present) so
+  // this node's readers see the write before the owner does.
+  if (install_ns_[k].load(std::memory_order_acquire) != kAbsent) {
+    Val* slot = values_[k].get();
+    for (size_t i = 0; i < len; ++i) slot[i] += update[i];
+  }
+  n_folds_.fetch_add(1, std::memory_order_relaxed);
+  if (++fold_counts_[k] == 1) {
+    std::lock_guard<std::mutex> lock(dirty_mu_);
+    dirty_.push_back(k);
+    ++n_dirty_;
+    if (oldest_fold_ns_.load(std::memory_order_relaxed) == kAbsent) {
+      oldest_fold_ns_.store(now, std::memory_order_release);
+    }
+  }
+  if (fold_counts_[k] >= flush_max_folds_) {
+    return FoldOutcome::kFoldedFlushDue;
+  }
+  const int64_t oldest = oldest_fold_ns_.load(std::memory_order_acquire);
+  if (oldest != kAbsent && now - oldest >= flush_ns_) {
+    return FoldOutcome::kFoldedFlushDue;
+  }
+  return FoldOutcome::kFolded;
+}
+
+bool ReplicaManager::DrainKey(Key k, Val* out) {
+  if (!aggregate_) return false;
+  std::lock_guard<Latch> latch(latches_.ForKey(k));
+  if (fold_counts_[k] == 0) return false;
+  const size_t len = layout_->Length(k);
+  std::memcpy(out, acc_[k].get(), len * sizeof(Val));
+  std::memset(acc_[k].get(), 0, len * sizeof(Val));
+  fold_counts_[k] = 0;  // the dirty-list entry becomes a skipped no-op
+  NoteKeyDrained();
+  n_flushed_keys_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ReplicaManager::NoteKeyDrained() {
+  std::lock_guard<std::mutex> lock(dirty_mu_);
+  if (--n_dirty_ == 0) {
+    // The set went clean: re-arm the age clock, or the stale timestamp
+    // would make the next fold anywhere spuriously report a flush as due.
+    oldest_fold_ns_.store(kAbsent, std::memory_order_release);
+  }
+}
+
+uint32_t ReplicaManager::PendingFolds(Key k) {
+  std::lock_guard<Latch> latch(latches_.ForKey(k));
+  return fold_counts_[k];
 }
 
 void ReplicaManager::Invalidate(Key k) {
@@ -89,6 +184,9 @@ ReplicaManagerStats ReplicaManager::stats() const {
   s.stale_misses = n_stale_misses_.load(std::memory_order_relaxed);
   s.installs = n_installs_.load(std::memory_order_relaxed);
   s.invalidations = n_invalidations_.load(std::memory_order_relaxed);
+  s.folds = n_folds_.load(std::memory_order_relaxed);
+  s.flushed_keys = n_flushed_keys_.load(std::memory_order_relaxed);
+  s.unpins = n_unpins_.load(std::memory_order_relaxed);
   return s;
 }
 

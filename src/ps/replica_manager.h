@@ -3,7 +3,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "net/message.h"
@@ -19,6 +21,9 @@ struct ReplicaManagerStats {
   int64_t stale_misses = 0;   // pinned reads that found no fresh copy
   int64_t installs = 0;       // fresh owner copies installed (pull-through)
   int64_t invalidations = 0;  // copies dropped because ownership moved
+  int64_t folds = 0;          // pushes aggregated locally (no owner message)
+  int64_t flushed_keys = 0;   // accumulators drained toward the owner
+  int64_t unpins = 0;         // pins dropped (manual or policy-driven)
 };
 
 // Per-node replica store for contended read-mostly keys (the keys the
@@ -36,24 +41,45 @@ struct ReplicaManagerStats {
 // are the rare exception, so memory stays proportional to the pinned set,
 // not to num_nodes copies of the model.
 //
+// Write aggregation (Petuum-style accumulators, optional): with
+// `aggregate_writes` on, pushes to pinned keys fold into a per-key local
+// accumulator (FoldWrite) instead of paying one owner round-trip each.
+// Accumulators are drained in batches -- by the pushing worker once a
+// count (flush_max_folds) or age (flush_micros) trigger fires, by the
+// server before it honors an invalidation, and by Unpin -- and the drained
+// updates travel to the owner as ordinary cumulative pushes. Draining and
+// folding are serialized per key under the key's latch, so across any
+// interleaving of folds, flushes, invalidations, and unpins every fold is
+// delivered to the owner exactly once.
+//
 // Consistency contract (bounded staleness):
 //  * A replica-served read returns a value the then-current owner held at
-//    most `staleness_micros` plus one fetch round-trip before the read.
-//  * Writers fold their own pushes into the local copy (Accumulate), so a
-//    node usually observes its own writes immediately; the authoritative
-//    update still travels to the owner (write-through). This is
-//    best-effort, not a guarantee: a refresh that was already in flight
-//    when the push happened carries a pre-push owner snapshot and
-//    overwrites the fold on arrival, hiding the write again until it
-//    reaches the owner and a later refresh lands -- i.e. for at most the
-//    write's round-trip to the owner plus one staleness window.
+//    most `staleness_micros` plus one fetch round-trip before the read,
+//    plus this node's own pending (unflushed) folds.
+//  * Writers fold their own pushes into the local copy, so a node usually
+//    observes its own writes immediately; the authoritative update reaches
+//    the owner via write-through (aggregation off) or the next flush
+//    (aggregation on). This is best-effort, not a guarantee: with
+//    aggregation off, a refresh already in flight when the push happened
+//    overwrites the fold until a post-push refresh lands; with aggregation
+//    on, Install re-applies the pending accumulator on top of the fresh
+//    snapshot, so only folds drained-but-not-yet-applied at the owner can
+//    transiently disappear from the visible copy.
 //  * When a pinned key's ownership moves, the home directs an invalidation
 //    at every registered replica holder: the copy is dropped (the pin
 //    stays), and the next read faults a fresh value in from the new owner.
 class ReplicaManager {
  public:
+  // What FoldWrite did with a push to key k.
+  enum class FoldOutcome : uint8_t {
+    kNotAggregated,   // unpinned key or aggregation off: write through
+    kFolded,          // folded into the local accumulator; no message needed
+    kFoldedFlushDue,  // folded, and a flush trigger fired: drain now
+  };
+
   ReplicaManager(const KeyLayout* layout, int64_t staleness_micros,
-                 size_t num_latches);
+                 size_t num_latches, bool aggregate_writes = false,
+                 int64_t flush_micros = 0, uint32_t flush_max_folds = 0);
 
   ReplicaManager(const ReplicaManager&) = delete;
   ReplicaManager& operator=(const ReplicaManager&) = delete;
@@ -63,13 +89,20 @@ class ReplicaManager {
     return pinned_[k].load(std::memory_order_acquire) != 0;
   }
 
+  bool aggregates_writes() const { return aggregate_; }
+
   // Marks key k replicated here (idempotent). The copy starts absent; the
   // first read falls through to the message path and installs it.
   void Pin(Key k);
 
-  // Drops the pin and the copy. Registration at the home is not undone; a
-  // later invalidation for an unpinned key is a no-op.
-  void Unpin(Key k);
+  // Drops the pin, the copy, and the write accumulator. If the accumulator
+  // held folds, they are copied into `pending` (layout Length(k) values)
+  // and true is returned: the caller owns forwarding them to the owner, or
+  // they are lost. Passing nullptr discards pending folds (unit tests
+  // only). Registration at the home is not undone by this call -- senders
+  // follow up with kReplicaUnregister (Worker::Unreplicate); a later
+  // invalidation for an unpinned key is a no-op either way.
+  bool Unpin(Key k, Val* pending = nullptr);
 
   // Serves a read from the local copy iff key k is pinned and the copy was
   // installed within the staleness bound. Copies into dst and returns true
@@ -78,17 +111,75 @@ class ReplicaManager {
   bool TryRead(Key k, Val* dst);
 
   // Installs a fresh owner copy (from a returning pull response) and
-  // stamps it with the current time. No-op if k is no longer pinned.
+  // stamps it with the current time. Pending (unflushed) folds are
+  // re-applied on top: the snapshot cannot contain them yet, and dropping
+  // them from the visible copy would un-publish this node's own writes
+  // until the flush round-trips. No-op if k is no longer pinned.
   void Install(Key k, const Val* data);
 
-  // Write-through, local half: folds `update` into the copy (if present)
-  // so this node's readers usually see the write before the owner's ack
-  // (best-effort; see the consistency contract above). Callers still
-  // forward the authoritative update to the owner.
+  // Write-through, local half (aggregation off): folds `update` into the
+  // copy (if present) so this node's readers usually see the write before
+  // the owner's ack. Callers still forward the authoritative update.
   void Accumulate(Key k, const Val* update);
 
+  // Write aggregation: folds `update` into key k's accumulator (and into
+  // the visible copy, if present, for read-your-writes). Returns
+  // kNotAggregated when the caller must write through instead (key not
+  // pinned here, or aggregation off); kFoldedFlushDue additionally asks
+  // the caller to drain (Worker::FlushReplicas) because the key hit
+  // flush_max_folds or the node's oldest fold aged past flush_micros.
+  FoldOutcome FoldWrite(Key k, const Val* update);
+
+  // Drains every key with pending folds: invokes sink(key, acc) with the
+  // accumulated update (layout Length(key) values, borrowed only for the
+  // duration of the call) and resets the accumulator. Returns the number
+  // of keys drained. Callable from any thread; concurrent drains split
+  // the dirty set, they never double-deliver a fold.
+  template <typename Sink>
+  size_t DrainDirty(Sink&& sink) {
+    std::vector<Key> dirty;
+    {
+      std::lock_guard<std::mutex> lock(dirty_mu_);
+      dirty.swap(dirty_);
+      oldest_fold_ns_.store(kAbsent, std::memory_order_release);
+    }
+    size_t drained = 0;
+    for (const Key k : dirty) {
+      std::lock_guard<Latch> latch(latches_.ForKey(k));
+      // A racing DrainKey/Unpin may have emptied the slot already.
+      if (fold_counts_[k] == 0) continue;
+      sink(k, static_cast<const Val*>(acc_[k].get()));
+      std::memset(acc_[k].get(), 0, layout_->Length(k) * sizeof(Val));
+      fold_counts_[k] = 0;
+      ++drained;
+    }
+    if (drained > 0) {
+      std::lock_guard<std::mutex> lock(dirty_mu_);
+      n_dirty_ -= drained;
+      // This deferred decrement can be what actually empties the set (a
+      // concurrent DrainKey saw our not-yet-subtracted count and skipped
+      // its own re-arm): apply the same clean-set re-arm here.
+      if (n_dirty_ == 0) {
+        oldest_fold_ns_.store(kAbsent, std::memory_order_release);
+      }
+    }
+    n_flushed_keys_.fetch_add(static_cast<int64_t>(drained),
+                              std::memory_order_relaxed);
+    return drained;
+  }
+
+  // Drains key k's accumulator into `out` (layout Length(k) values).
+  // Returns false if it held no folds. Used by the server to forward
+  // pending folds before honoring an invalidation.
+  bool DrainKey(Key k, Val* out);
+
+  // Pending (unflushed) fold count of key k. Test observability.
+  uint32_t PendingFolds(Key k);
+
   // Drops the copy because ownership moved; the pin stays so the next read
-  // refreshes from the new owner.
+  // refreshes from the new owner. The write accumulator is NOT dropped:
+  // the server drains it (DrainKey) and forwards the folds before calling
+  // this, so an invalidation never loses aggregated updates.
   void Invalidate(Key k);
 
   ReplicaManagerStats stats() const;
@@ -98,19 +189,52 @@ class ReplicaManager {
  private:
   static constexpr int64_t kAbsent = -1;
 
+  // Bookkeeping after a single-key drain zeroed an accumulator (caller
+  // holds the key's latch): decrements the dirty count and re-arms the
+  // age clock when the set went clean.
+  void NoteKeyDrained();
+
   const KeyLayout* layout_;
   const int64_t staleness_ns_;
+  const bool aggregate_;
+  const int64_t flush_ns_;
+  const uint32_t flush_max_folds_;
   // Per-key value buffer, allocated by Pin and released by Unpin (both
-  // under the key's latch); null for unpinned keys.
+  // under the key's latch); null for unpinned keys. acc_ mirrors it for
+  // the write accumulator when aggregation is on.
   std::vector<std::unique_ptr<Val[]>> values_;
+  std::vector<std::unique_ptr<Val[]>> acc_;
+  std::vector<uint32_t> fold_counts_;  // guarded by the key's latch
   std::vector<std::atomic<int64_t>> install_ns_;  // kAbsent = no copy
   std::vector<std::atomic<uint8_t>> pinned_;
   LatchTable latches_;
+
+  // Keys whose accumulator holds at least one fold, in first-fold order,
+  // plus the age of the oldest unflushed fold (kAbsent when clean). A key
+  // enters on its 0 -> 1 fold transition and leaves when a drain resets
+  // it. n_dirty_ counts keys with pending folds exactly (every 0 -> 1
+  // transition is +1, every accumulator zeroing is -1), so a single-key
+  // drain that empties the set can re-arm the age clock -- without this,
+  // a stale oldest-fold timestamp left behind by an invalidation drain
+  // would make the next fold spuriously report a flush as due. The clock
+  // is deliberately approximate in one direction: a single-key drain
+  // that removes the oldest fold while OTHER keys stay dirty keeps the
+  // older timestamp (recomputing the true oldest would need per-key
+  // timestamps and a scan), so the next age check may fire one flush
+  // early. Early flushes are contract-safe and self-correcting -- the
+  // DrainDirty they trigger resets the clock exactly.
+  std::mutex dirty_mu_;
+  std::vector<Key> dirty_;
+  size_t n_dirty_ = 0;  // guarded by dirty_mu_
+  std::atomic<int64_t> oldest_fold_ns_{kAbsent};
 
   std::atomic<int64_t> n_pinned_{0};
   std::atomic<int64_t> n_stale_misses_{0};
   std::atomic<int64_t> n_installs_{0};
   std::atomic<int64_t> n_invalidations_{0};
+  std::atomic<int64_t> n_folds_{0};
+  std::atomic<int64_t> n_flushed_keys_{0};
+  std::atomic<int64_t> n_unpins_{0};
 };
 
 }  // namespace ps

@@ -91,6 +91,9 @@ void Server::Handle(Message& msg) {
     case MsgType::kReplicaRegister:
       HandleReplicaRegister(msg);
       break;
+    case MsgType::kReplicaUnregister:
+      HandleReplicaUnregister(msg);
+      break;
     case MsgType::kReplicaInvalidate:
       HandleReplicaInvalidate(msg);
       break;
@@ -183,7 +186,9 @@ void Server::HandleOp(Message& msg) {
     ctx_->QueueDeferred(k, std::move(d));
   }
 
-  if (!reply_keys.empty()) {
+  // op_id == kImmediate marks a fire-and-forget push (replica fold drains
+  // forwarded by a server): nobody tracks it, so no ack is owed.
+  if (!reply_keys.empty() && msg.op_id != OpTracker::kImmediate) {
     SendReply(msg, is_pull ? MsgType::kPullResp : MsgType::kPushAck,
               std::move(reply_keys), std::move(reply_vals));
   } else {
@@ -434,9 +439,15 @@ void Server::DrainArrived(Key k) {
       std::vector<Key> reply_keys = BufferPool::GetKeys();
       std::vector<Val> reply_vals = BufferPool::GetVals();
       ServeOwnedKey(m, 0, k, m.val_data(), &reply_keys, &reply_vals);
-      SendReply(m, m.type == MsgType::kPull ? MsgType::kPullResp
-                                            : MsgType::kPushAck,
-                std::move(reply_keys), std::move(reply_vals));
+      if (m.op_id != OpTracker::kImmediate) {
+        SendReply(m, m.type == MsgType::kPull ? MsgType::kPullResp
+                                              : MsgType::kPushAck,
+                  std::move(reply_keys), std::move(reply_vals));
+      } else {
+        // Fire-and-forget fold drain: applied, no ack owed.
+        BufferPool::PutKeys(std::move(reply_keys));
+        BufferPool::PutVals(std::move(reply_vals));
+      }
       continue;
     }
     // A deferred hand-over (instruct, or direct localize under
@@ -547,9 +558,53 @@ void Server::HandleReplicaRegister(const Message& msg) {
   }
 }
 
+void Server::HandleReplicaUnregister(const Message& msg) {
+  const NodeId holder = msg.requester_node;
+  LAPSE_CHECK_GE(holder, 0);
+  for (const Key k : msg.keys) {
+    LAPSE_CHECK_EQ(ctx_->layout->Home(k), ctx_->node)
+        << "replica unregistration for key " << k
+        << " routed to non-home node";
+    auto it = replica_holders_.find(k);
+    if (it == replica_holders_.end()) continue;
+    std::vector<NodeId>& holders = it->second;
+    const size_t before = holders.size();
+    holders.erase(std::remove(holders.begin(), holders.end(), holder),
+                  holders.end());
+    if (holders.size() != before) ctx_->stats.replica_unregisters.Add(1);
+    if (holders.empty()) replica_holders_.erase(it);
+  }
+}
+
 void Server::HandleReplicaInvalidate(const Message& msg) {
   if (ctx_->replicas == nullptr) return;
-  for (const Key k : msg.keys) ctx_->replicas->Invalidate(k);
+  for (const Key k : msg.keys) {
+    // Drain-before-drop: pending aggregated writes leave for the owner
+    // before the copy is invalidated, so a flush racing the invalidation
+    // can neither lose folds nor resurrect the dropped copy (flushes are
+    // plain cumulative pushes; only a pull response installs).
+    ForwardReplicaFolds(k);
+    ctx_->replicas->Invalidate(k);
+  }
+}
+
+void Server::ForwardReplicaFolds(Key k) {
+  if (ctx_->replicas == nullptr) return;
+  const size_t len = ctx_->layout->Length(k);
+  if (fold_buf_.size() < len) fold_buf_.resize(len);
+  if (!ctx_->replicas->DrainKey(k, fold_buf_.data())) return;
+  Message m;
+  m.type = MsgType::kPush;
+  // RouteDst may name this node itself (the invalidation raced our own
+  // localize); the self-send delivers through the inbox and HandleOp
+  // applies or defers it like any other push.
+  m.dst_node = RouteDst(k);
+  m.orig_node = ctx_->node;
+  m.orig_thread = 0;
+  m.op_id = OpTracker::kImmediate;  // fire-and-forget: no ack owed
+  m.keys.push_back(k);
+  m.vals.assign(fold_buf_.begin(), fold_buf_.begin() + len);
+  endpoint_->Send(std::move(m));
 }
 
 void Server::InvalidateReplicaHolders(Key k) {
@@ -557,8 +612,11 @@ void Server::InvalidateReplicaHolders(Key k) {
   if (it == replica_holders_.end()) return;
   for (const NodeId holder : it->second) {
     if (holder == ctx_->node) {
-      // The home itself holds a replica: drop it directly.
-      if (ctx_->replicas) ctx_->replicas->Invalidate(k);
+      // The home itself holds a replica: drain + drop it directly.
+      if (ctx_->replicas) {
+        ForwardReplicaFolds(k);
+        ctx_->replicas->Invalidate(k);
+      }
       continue;
     }
     Message m;

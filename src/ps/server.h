@@ -57,11 +57,20 @@ class Server {
   // Replication directory (home side): records which nodes pinned a key
   // (kReplicaRegister), so ownership moves can invalidate their copies.
   void HandleReplicaRegister(const net::Message& msg);
-  // Replica-holder side: ownership of the keys moved; drop the copies.
+  // Home side: an ex-holder unpinned these keys; drop it from the
+  // directory so ownership moves stop invalidating it.
+  void HandleReplicaUnregister(const net::Message& msg);
+  // Replica-holder side: ownership of the keys moved; drain each key's
+  // pending write folds toward the owner, then drop the copies.
   void HandleReplicaInvalidate(const net::Message& msg);
   // Sends kReplicaInvalidate to every registered holder of key k (called
   // by HandleLocalize right after the home's owner view changes).
   void InvalidateReplicaHolders(Key k);
+  // Drains key k's pending write folds (if any) from the node's replica
+  // store and forwards them toward the key's current owner as a
+  // fire-and-forget push. Called before an invalidation is honored, so
+  // the invalidate/flush race can never lose aggregated updates.
+  void ForwardReplicaFolds(Key k);
 
   // Applies a single-key pull/push for an owned key (caller holds the
   // latch) and accumulates the reply.
@@ -95,6 +104,10 @@ class Server {
   // for Inbox::TakeBatch.
   DestGroups groups_;
   std::vector<net::Message> batch_;
+  // Scratch for draining one key's replica write accumulator. Not
+  // groups_: ForwardReplicaFolds runs inside handlers that are mid-use of
+  // the grouping scratch (HandleLocalize).
+  std::vector<Val> fold_buf_;
 
   // Which nodes hold a replica of each key homed here. Server-thread-only
   // (registrations and ownership moves both arrive on this thread), so no

@@ -56,7 +56,9 @@ PsSystem::PsSystem(Config config)
     }
     if (config_.replication) {
       ctx->replicas = std::make_unique<ReplicaManager>(
-          &layout_, config_.replica_staleness_micros, config_.num_latches);
+          &layout_, config_.replica_staleness_micros, config_.num_latches,
+          config_.replica_write_aggregation, config_.replica_flush_micros,
+          config_.replica_flush_max_folds);
     }
     nodes_.push_back(std::move(ctx));
   }
@@ -158,6 +160,12 @@ int64_t PsSystem::TotalLocalReads() const {
 int64_t PsSystem::TotalReplicaReads() const {
   int64_t total = 0;
   for (const auto& n : nodes_) total += n->stats.replica_key_reads.sum();
+  return total;
+}
+
+int64_t PsSystem::TotalReplicaWrites() const {
+  int64_t total = 0;
+  for (const auto& n : nodes_) total += n->stats.replica_key_writes.sum();
   return total;
 }
 

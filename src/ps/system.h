@@ -89,6 +89,7 @@ class PsSystem {
   // Sums a field over all nodes.
   int64_t TotalLocalReads() const;
   int64_t TotalReplicaReads() const;
+  int64_t TotalReplicaWrites() const;
   int64_t TotalRemoteReads() const;
   int64_t TotalLocalWrites() const;
   int64_t TotalRemoteWrites() const;

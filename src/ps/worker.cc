@@ -43,7 +43,13 @@ Worker::Worker(NodeContext* ctx, net::Network* network,
   scratch_.groups.Resize(static_cast<size_t>(ctx_->layout->num_nodes()));
 }
 
-Worker::~Worker() { tracker_->WaitAll(); }
+Worker::~Worker() {
+  // Flush any write folds the node's replica store still holds (ours or a
+  // sibling worker's -- drains are idempotent) before draining tracked
+  // ops, so a phase boundary never strands aggregated updates locally.
+  FlushReplicas();
+  tracker_->WaitAll();
+}
 
 #ifndef NDEBUG
 void Worker::CheckDistinct(const std::vector<Key>& keys) const {
@@ -240,9 +246,15 @@ uint64_t Worker::PushAsync(const std::vector<Key>& keys,
   // Fast path: optimistic per-key application under the key's own latch
   // (per-key guarantees, Table 1). An applied prefix is final -- cumulative
   // updates are applied exactly once -- and the suffix from the first
-  // non-owned key falls through to the tracked slow path.
+  // non-owned key falls through to the tracked slow path. Non-owned keys
+  // get one more local chance: a pinned key's update folds into the
+  // node's write accumulator (Petuum-style aggregation) instead of paying
+  // an owner message; the fold is final too, and the flush that carries
+  // it to the owner is issued after the op completes.
   size_t done = 0;
   size_t done_off = 0;
+  int64_t replica_folds = 0;  // keys folded into the replica accumulators
+  bool flush_due = false;
   if (fast_local_) {
     for (; done < keys.size(); ++done) {
       const Key k = keys[done];
@@ -250,6 +262,17 @@ uint64_t Worker::PushAsync(const std::vector<Key>& keys,
       latch.lock();
       if (ctx_->StateOf(k) != KeyState::kOwned) {
         latch.unlock();
+        if (replicas_ != nullptr) {
+          const ReplicaManager::FoldOutcome fold =
+              replicas_->FoldWrite(k, updates + done_off);
+          if (fold != ReplicaManager::FoldOutcome::kNotAggregated) {
+            flush_due |=
+                (fold == ReplicaManager::FoldOutcome::kFoldedFlushDue);
+            ++replica_folds;
+            done_off += layout.Length(k);
+            continue;
+          }
+        }
         break;
       }
       const size_t len = layout.Length(k);
@@ -258,7 +281,12 @@ uint64_t Worker::PushAsync(const std::vector<Key>& keys,
       done_off += len;
     }
     if (done == keys.size()) {
-      ctx_->stats.local_key_writes.Add(static_cast<int64_t>(keys.size()));
+      ctx_->stats.local_key_writes.Add(static_cast<int64_t>(keys.size()) -
+                                       replica_folds);
+      if (replica_folds > 0) {
+        ctx_->stats.replica_key_writes.Add(replica_folds);
+      }
+      if (flush_due) FlushReplicas();
       return kImmediate;
     }
   }
@@ -276,7 +304,9 @@ uint64_t Worker::PushAsync(const std::vector<Key>& keys,
   const uint64_t op = tracker_->Create(nullptr, sc.key_offsets, NowNanos());
 
   size_t inline_done = 0;
-  int64_t local_writes = static_cast<int64_t>(done);
+  // The fast-path prefix mixes owned writes and replica folds; only the
+  // former count as local.
+  int64_t local_writes = static_cast<int64_t>(done) - replica_folds;
   int64_t remote_writes = 0, queued = 0;
   sc.groups.Begin();
   sc.broadcast_keys.clear();
@@ -310,13 +340,25 @@ uint64_t Worker::PushAsync(const std::vector<Key>& keys,
         handled = true;
       }
     }
-    if (handled) continue;
-    if (replicas_ != nullptr && replicas_->IsPinned(k)) {
-      // Write-through, local half: fold the update into the replica so
-      // this node's readers see it before the owner's ack. The
-      // authoritative update still goes to the owner below.
-      replicas_->Accumulate(k, updates + off);
+    if (!handled && replicas_ != nullptr) {
+      const ReplicaManager::FoldOutcome fold =
+          replicas_->FoldWrite(k, updates + off);
+      if (fold != ReplicaManager::FoldOutcome::kNotAggregated) {
+        // Aggregated: the fold is the whole operation for this key; the
+        // flush that carries it to the owner is issued below.
+        flush_due |= (fold == ReplicaManager::FoldOutcome::kFoldedFlushDue);
+        ++inline_done;
+        ++replica_folds;
+        handled = true;
+      } else if (replicas_->IsPinned(k)) {
+        // Aggregation off -- write-through, local half: fold the update
+        // into the replica so this node's readers see it before the
+        // owner's ack. The authoritative update still goes to the owner
+        // below.
+        replicas_->Accumulate(k, updates + off);
+      }
     }
+    if (handled) continue;
     ++remote_writes;
     if (broadcast_ops) {
       sc.broadcast_keys.push_back(k);
@@ -331,6 +373,7 @@ uint64_t Worker::PushAsync(const std::vector<Key>& keys,
 
   ctx_->stats.local_key_writes.Add(local_writes);
   ctx_->stats.remote_key_writes.Add(remote_writes);
+  if (replica_folds > 0) ctx_->stats.replica_key_writes.Add(replica_folds);
   ctx_->stats.queued_local_ops.Add(queued);
 
   for (const NodeId dst_node : sc.groups.touched()) {
@@ -364,6 +407,8 @@ uint64_t Worker::PushAsync(const std::vector<Key>& keys,
   }
 
   tracker_->CompleteKeys(op, inline_done);
+  // After the op's own sends: FlushReplicas reuses the grouping scratch.
+  if (flush_due) FlushReplicas();
   return op;
 }
 
@@ -454,6 +499,15 @@ uint64_t Worker::LocalizeAsync(const std::vector<Key>& keys) {
   return op;
 }
 
+void Worker::DedupKeysIntoScratch(const std::vector<Key>& keys) {
+  Scratch& sc = scratch_;
+  sc.localize_keys.assign(keys.begin(), keys.end());
+  std::sort(sc.localize_keys.begin(), sc.localize_keys.end());
+  sc.localize_keys.erase(
+      std::unique(sc.localize_keys.begin(), sc.localize_keys.end()),
+      sc.localize_keys.end());
+}
+
 size_t Worker::Evict(const std::vector<Key>& keys) {
   // Eviction synthesizes a localize on behalf of the key's home node: the
   // home receives a kLocalize with requester == home, flips its owner view
@@ -468,11 +522,7 @@ size_t Worker::Evict(const std::vector<Key>& keys) {
   }
 
   Scratch& sc = scratch_;
-  sc.localize_keys.assign(keys.begin(), keys.end());
-  std::sort(sc.localize_keys.begin(), sc.localize_keys.end());
-  sc.localize_keys.erase(
-      std::unique(sc.localize_keys.begin(), sc.localize_keys.end()),
-      sc.localize_keys.end());
+  DedupKeysIntoScratch(keys);
 
   size_t issued = 0;
   sc.groups.Begin();
@@ -512,11 +562,7 @@ size_t Worker::Replicate(const std::vector<Key>& keys) {
   // expiry, not the invalidation directory, is the correctness backstop;
   // invalidation only makes convergence prompt), so the race is benign.
   Scratch& sc = scratch_;
-  sc.localize_keys.assign(keys.begin(), keys.end());
-  std::sort(sc.localize_keys.begin(), sc.localize_keys.end());
-  sc.localize_keys.erase(
-      std::unique(sc.localize_keys.begin(), sc.localize_keys.end()),
-      sc.localize_keys.end());
+  DedupKeysIntoScratch(keys);
 
   size_t pinned = 0;
   sc.groups.Begin();
@@ -527,9 +573,38 @@ size_t Worker::Replicate(const std::vector<Key>& keys) {
     ++pinned;
   }
 
+  SendReplicaControl(MsgType::kReplicaRegister);
+  return pinned;
+}
+
+uint64_t Worker::SendGroupedPushes() {
+  Scratch& sc = scratch_;
+  if (sc.key_offsets.empty()) return kImmediate;
+  // Drained folds travel as ordinary cumulative pushes, one coalesced
+  // message per destination, tracked like any push: the op completes when
+  // every owner acked, which is what makes WaitAll a flush barrier. A key
+  // localized here since its last fold routes through its home and comes
+  // straight back -- the relocation protocol already handles that.
+  const uint64_t op = tracker_->Create(nullptr, sc.key_offsets, NowNanos());
+  for (const NodeId dst_node : sc.groups.touched()) {
+    Message m;
+    m.type = MsgType::kPush;
+    m.dst_node = dst_node;
+    m.orig_node = ctx_->node;
+    m.orig_thread = thread_;
+    m.op_id = op;
+    m.keys = sc.groups.TakeKeys(dst_node);
+    m.vals = sc.groups.TakeVals(dst_node);
+    endpoint_->Send(std::move(m));
+  }
+  return op;
+}
+
+void Worker::SendReplicaControl(MsgType type) {
+  Scratch& sc = scratch_;
   for (const NodeId home : sc.groups.touched()) {
     Message m;
-    m.type = MsgType::kReplicaRegister;
+    m.type = type;
     m.dst_node = home;  // the home may be this node: self-sends deliver
     m.orig_node = ctx_->node;
     m.orig_thread = thread_;
@@ -538,7 +613,60 @@ size_t Worker::Replicate(const std::vector<Key>& keys) {
     m.keys = sc.groups.TakeKeys(home);
     endpoint_->Send(std::move(m));
   }
-  return pinned;
+}
+
+uint64_t Worker::FlushReplicas() {
+  if (replicas_ == nullptr || !replicas_->aggregates_writes()) {
+    return kImmediate;
+  }
+  const KeyLayout& layout = *ctx_->layout;
+  Scratch& sc = scratch_;
+  sc.groups.Begin();
+  sc.key_offsets.clear();
+  replicas_->DrainDirty([&](Key k, const Val* acc) {
+    const NodeId dst = RemoteDst(k);
+    sc.groups.AddKey(dst, k);
+    sc.groups.AddVals(dst, acc, layout.Length(k));
+    sc.key_offsets.emplace_back(k, size_t{0});
+  });
+  return SendGroupedPushes();
+}
+
+size_t Worker::Unreplicate(const std::vector<Key>& keys) {
+  if (replicas_ == nullptr) return 0;
+  const KeyLayout& layout = *ctx_->layout;
+  Scratch& sc = scratch_;
+  DedupKeysIntoScratch(keys);
+
+  // Pass 1: atomically drain-and-unpin each key (one latch hold inside
+  // Unpin, so no fold can slip in between) and group the drained folds by
+  // destination. The unpinned set is remembered for the unregister pass.
+  sc.broadcast_keys.clear();
+  sc.groups.Begin();
+  sc.key_offsets.clear();
+  for (const Key k : sc.localize_keys) {
+    const size_t len = layout.Length(k);
+    if (sc.broadcast_vals.size() < len) sc.broadcast_vals.resize(len);
+    if (!replicas_->IsPinned(k)) continue;
+    if (replicas_->Unpin(k, sc.broadcast_vals.data())) {
+      const NodeId dst = RemoteDst(k);
+      sc.groups.AddKey(dst, k);
+      sc.groups.AddVals(dst, sc.broadcast_vals.data(), len);
+      sc.key_offsets.emplace_back(k, size_t{0});
+    }
+    sc.broadcast_keys.push_back(k);
+  }
+  SendGroupedPushes();
+
+  // Pass 2: unregister at each key's home so the replica directory
+  // shrinks and later ownership moves stop firing invalidations at this
+  // node. Fire-and-forget, like the registration.
+  sc.groups.Begin();
+  for (const Key k : sc.broadcast_keys) {
+    sc.groups.AddKey(layout.Home(k), k);
+  }
+  SendReplicaControl(MsgType::kReplicaUnregister);
+  return sc.broadcast_keys.size();
 }
 
 bool Worker::PullIfLocal(Key k, Val* dst) {

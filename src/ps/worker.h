@@ -77,6 +77,30 @@ class Worker {
   // number of keys newly pinned. No-op unless Config::replication is on.
   size_t Replicate(const std::vector<Key>& keys);
 
+  // Reverse of Replicate: drains each key's pending write folds (flushed
+  // to the owner as a tracked push, so no fold is lost), drops the pin,
+  // and unregisters this node at each key's home (new kReplicaUnregister
+  // message) so the directory shrinks and later ownership moves stop
+  // invalidating it. Unpinned keys become ordinary again: eligible for
+  // localize (and the policy's churn slate is wiped by the caller).
+  // Duplicates and unpinned keys are skipped; returns the number of keys
+  // unpinned. Issue Replicate and Unreplicate for one key from the same
+  // worker: the two registration messages then ride one FIFO connection
+  // to the home, so the directory cannot end up stale (a violation would
+  // only cost a spurious invalidation -- staleness stays the correctness
+  // backstop -- but there is no reason to pay it).
+  size_t Unreplicate(const std::vector<Key>& keys);
+
+  // Drains every dirty write accumulator of this node's replica store and
+  // sends the folds to the owners, coalesced into one cumulative-push
+  // message per destination node. Called automatically whenever a push
+  // trips a flush trigger (Config::replica_flush_micros /
+  // replica_flush_max_folds) and on worker teardown; callable manually
+  // for tighter phase boundaries. Tracked: returns an operation handle
+  // whose completion means every drained fold was applied by its owner
+  // (kImmediate when there was nothing to flush).
+  uint64_t FlushReplicas();
+
   void Wait(uint64_t op) { tracker_->Wait(op); }
   void WaitAll() { tracker_->WaitAll(); }
   bool IsDone(uint64_t op) { return tracker_->IsDone(op); }
@@ -121,6 +145,22 @@ class Worker {
   // Destination node for a remote op on key k (worker-side routing:
   // location cache if enabled and filled, else home / owner view).
   NodeId RemoteDst(Key k) const;
+
+  // Sends the grouped scratch (scratch_.groups + scratch_.key_offsets,
+  // filled by the caller) as tracked cumulative pushes, one message per
+  // destination. Returns the op handle (kImmediate when empty). Used by
+  // the replica flush paths.
+  uint64_t SendGroupedPushes();
+
+  // Sends the grouped scratch keys to each touched node as a
+  // fire-and-forget replica-directory control message
+  // (kReplicaRegister / kReplicaUnregister).
+  void SendReplicaControl(net::MsgType type);
+
+  // Fills scratch_.localize_keys with `keys`, deduplicated. The shared
+  // pre-pass of the keys-may-repeat primitives (Evict, Replicate,
+  // Unreplicate; LocalizeAsync adds an owned-key filter of its own).
+  void DedupKeysIntoScratch(const std::vector<Key>& keys);
 
   // Debug-only contract check: keys within one operation must be distinct.
   // Compiled out in release builds -- it costs a copy + sort per op.

@@ -173,6 +173,87 @@ TEST(ConfigValidationDeathTest, NonPositiveReplicaStalenessDies) {
   EXPECT_DEATH(cfg.Normalize(), "replica_staleness_micros");
 }
 
+// ---- write-aggregation knobs -------------------------------------------
+
+TEST(ConfigValidationDeathTest, ZeroFlushIntervalDies) {
+  ps::Config cfg = ValidConfig();
+  cfg.replication = true;
+  cfg.replica_flush_micros = 0;
+  EXPECT_DEATH(cfg.Normalize(), "replica_flush_micros");
+}
+
+TEST(ConfigValidationDeathTest, NegativeFlushIntervalDies) {
+  ps::Config cfg = ValidConfig();
+  cfg.replication = true;
+  cfg.replica_flush_micros = -500;
+  EXPECT_DEATH(cfg.Normalize(), "replica_flush_micros");
+}
+
+TEST(ConfigValidationDeathTest, ZeroFlushMaxFoldsDies) {
+  ps::Config cfg = ValidConfig();
+  cfg.replication = true;
+  cfg.replica_flush_max_folds = 0;
+  EXPECT_DEATH(cfg.Normalize(), "replica_flush_max_folds");
+}
+
+TEST(ConfigValidationDeathTest, FlushIntervalAboveStalenessBoundDies) {
+  // Folds held back longer than the staleness bound would make other
+  // holders' replica-served reads lag the bounded-staleness contract.
+  ps::Config cfg = ValidConfig();
+  cfg.replication = true;
+  cfg.replica_staleness_micros = 2000;
+  cfg.replica_flush_micros = 2001;
+  EXPECT_DEATH(cfg.Normalize(), "staleness");
+}
+
+TEST(ConfigValidationTest, FlushIntervalAtStalenessBoundPasses) {
+  ps::Config cfg = ValidConfig();
+  cfg.replication = true;
+  cfg.replica_staleness_micros = 2000;
+  cfg.replica_flush_micros = 2000;
+  cfg.Normalize();  // must not die
+}
+
+TEST(ConfigValidationTest, FlushKnobsIgnoredWithAggregationOff) {
+  // With write-through (aggregation off) the flush knobs are dead; bad
+  // values must not kill an otherwise valid deployment.
+  ps::Config cfg = ValidConfig();
+  cfg.replication = true;
+  cfg.replica_write_aggregation = false;
+  cfg.replica_flush_micros = 0;
+  cfg.replica_flush_max_folds = 0;
+  cfg.Normalize();  // must not die
+}
+
+// ---- policy unpin knobs ------------------------------------------------
+
+TEST(ConfigValidationDeathTest, UnreplicateFractionOutOfRangeDies) {
+  ps::Config cfg = ValidAdaptiveConfig();
+  cfg.adaptive.unreplicate_read_fraction = -0.1;
+  EXPECT_DEATH(cfg.Normalize(), "unreplicate_read_fraction");
+}
+
+TEST(ConfigValidationDeathTest, UnreplicateAboveReplicateFractionDies) {
+  // An unpin threshold above the pin threshold would flap: a key pinned
+  // at read fraction r would immediately qualify for unpinning.
+  ps::Config cfg = ValidAdaptiveConfig();
+  cfg.adaptive.replicate_read_fraction = 0.8;
+  cfg.adaptive.unreplicate_read_fraction = 0.9;
+  EXPECT_DEATH(cfg.Normalize(), "hysteresis");
+}
+
+TEST(ConfigValidationDeathTest, ZeroUnreplicateColdWindowsDies) {
+  ps::Config cfg = ValidAdaptiveConfig();
+  cfg.adaptive.unreplicate_cold_windows = 0;
+  EXPECT_DEATH(cfg.Normalize(), "unreplicate_cold_windows");
+}
+
+TEST(ConfigValidationDeathTest, OverflowingUnreplicateColdWindowsDies) {
+  ps::Config cfg = ValidAdaptiveConfig();
+  cfg.adaptive.unreplicate_cold_windows = 65536;
+  EXPECT_DEATH(cfg.Normalize(), "unreplicate_cold_windows");
+}
+
 // ---- stale (bounded-staleness) PS --------------------------------------
 
 stale::SspConfig ValidSspConfig() {

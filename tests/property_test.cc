@@ -213,6 +213,82 @@ TEST(RelocationPropertyTest, OwnershipPartitionAfterStorm) {
   EXPECT_DOUBLE_EQ(total, 8.0 * kRounds);
 }
 
+// Replica-lifecycle property: randomized push/pull/flush/invalidate/unpin
+// schedules over 3 nodes with write aggregation on. Whatever the
+// interleaving of folds, flushes (explicit and trigger-driven),
+// invalidations (driven by localize/evict ownership moves), pins, and
+// unpins, the owner's settled value must equal the sum of all acked
+// pushes -- the flush-vs-invalidate race class (a drain that loses folds,
+// or a flush that double-delivers after an invalidation) breaks exactly
+// this equality. 100 consecutive schedules, each with fresh seeds.
+TEST(ReplicaSchedulePropertyTest, AggregatedPushesConserveUnderRandomSchedules) {
+  constexpr int kSchedules = 100;
+  constexpr uint64_t kKeys = 8;
+  constexpr int kOpsPerWorker = 30;
+  for (int schedule = 0; schedule < kSchedules; ++schedule) {
+    Config cfg;
+    cfg.num_nodes = 3;
+    cfg.workers_per_node = 1;
+    cfg.num_keys = kKeys;
+    cfg.uniform_value_length = 2;
+    cfg.arch = Architecture::kLapse;
+    cfg.latency = net::LatencyConfig::Zero();
+    cfg.latency.idle_spin_ns = 0;
+    cfg.replication = true;
+    cfg.replica_staleness_micros = 50'000'000;
+    // Tight flush triggers so trigger-driven flushes interleave with the
+    // schedule's explicit ones.
+    cfg.replica_flush_micros = 1000;
+    cfg.replica_flush_max_folds = 3;
+    cfg.seed = 7000 + static_cast<uint64_t>(schedule);
+    PsSystem system(cfg);
+    std::atomic<int64_t> issued{0};
+    system.Run([&](Worker& w) {
+      Rng& rng = w.rng();  // seeded from cfg.seed: fresh per schedule
+      std::vector<Val> buf(2);
+      const std::vector<Val> one = {1.0f, 1.0f};
+      for (int i = 0; i < kOpsPerWorker; ++i) {
+        const Key k = rng.Uniform(kKeys);
+        switch (rng.Uniform(9)) {
+          case 0:
+          case 1:
+          case 2:
+            w.Push({k}, one.data());
+            issued.fetch_add(1);
+            break;
+          case 3:
+            w.Pull({k}, buf.data());
+            break;
+          case 4:
+            w.Replicate({k});
+            break;
+          case 5:
+            w.Unreplicate({k});
+            break;
+          case 6:
+            w.Localize({k});
+            break;
+          case 7:
+            w.Evict({k});
+            break;
+          case 8:
+            w.FlushReplicas();
+            break;
+        }
+      }
+      w.WaitAll();
+    });
+    double total = 0;
+    std::vector<Val> settled(2);
+    for (Key k = 0; k < kKeys; ++k) {
+      system.GetValue(k, settled.data());
+      total += settled[0];
+    }
+    ASSERT_DOUBLE_EQ(total, static_cast<double>(issued.load()))
+        << "schedule " << schedule << " lost or duplicated folds";
+  }
+}
+
 // The network's shared-capacity model: a hot receiver serializes ingress.
 TEST(BandwidthPropertyTest, IngressSerializesBulkTransfers) {
   net::LatencyConfig lat;
