@@ -4,6 +4,7 @@
 
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/timer.h"
 
 namespace lapse {
 namespace adapt {
@@ -111,7 +112,12 @@ void PlacementManager::Loop() {
     cv_.wait_for(lock, tick, [&] { return stop_ || !active_; });
     if (stop_ || !active_) continue;
     lock.unlock();
-    Tick();
+    {
+      obs::Histogram* th = tick_hist_.load(std::memory_order_acquire);
+      const int64_t t0 = th != nullptr ? NowNanos() : 0;
+      Tick();
+      if (th != nullptr) th->Add(NowNanos() - t0);
+    }
     lock.lock();
   }
   lock.unlock();

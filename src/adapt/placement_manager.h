@@ -12,6 +12,7 @@
 #include "adapt/access_stats.h"
 #include "adapt/placement_policy.h"
 #include "net/network.h"
+#include "obs/histogram.h"
 #include "ps/node_context.h"
 #include "ps/worker.h"
 
@@ -75,6 +76,13 @@ class PlacementManager {
 
   AdaptStats stats() const;
 
+  // Observability hook: each Tick()'s duration (drain + classify + act,
+  // ns) is recorded into `h`. Install before Resume(); null (default)
+  // costs one relaxed load per tick, off every hot path.
+  void SetTickHistogram(obs::Histogram* h) {
+    tick_hist_.store(h, std::memory_order_release);
+  }
+
   // Every key flagged for replication so far, in flag order.
   std::vector<Key> ReplicationFlagged() const;
 
@@ -110,6 +118,7 @@ class PlacementManager {
   std::atomic<int64_t> n_flags_{0};
   std::atomic<int64_t> n_pinned_{0};
   std::atomic<int64_t> n_unpinned_{0};
+  std::atomic<obs::Histogram*> tick_hist_{nullptr};
 
   std::thread thread_;
 };

@@ -8,13 +8,19 @@ namespace lapse {
 namespace net {
 
 void Inbox::Put(Message msg) {
+  size_t depth;
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push(Entry{msg.deliver_ns, next_seq_++, std::move(msg)});
-    approx_size_.store(queue_.size(), std::memory_order_release);
+    depth = queue_.size();
+    approx_size_.store(depth, std::memory_order_release);
     put_count_.fetch_add(1, std::memory_order_release);
   }
   cv_.notify_one();
+  // Outside the lock; one relaxed load + branch when the hook is unset.
+  if (obs::Histogram* h = depth_hist_.load(std::memory_order_acquire)) {
+    h->Add(static_cast<int64_t>(depth));
+  }
 }
 
 bool Inbox::WaitDeliverable(std::unique_lock<std::mutex>& lock) {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "net/message.h"
+#include "obs/histogram.h"
 
 namespace lapse {
 namespace net {
@@ -52,6 +53,14 @@ class Inbox {
 
   size_t ApproxSize() const;
 
+  // Observability hook: every Put records the resulting queue depth into
+  // `h` (a measure of server backlog seen from the sender side). Install
+  // before traffic starts; null (the default) costs the unset path one
+  // relaxed load + branch per Put.
+  void SetDepthHistogram(obs::Histogram* h) {
+    depth_hist_.store(h, std::memory_order_release);
+  }
+
   // Total messages ever Put() into this inbox. Together with a consumer-side
   // processed counter this lets a system quiesce: when every inbox's
   // PutCount equals its server's processed count, no message is queued or
@@ -88,6 +97,7 @@ class Inbox {
   std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_;
   // Lock-free size mirror so an idle consumer can poll without the mutex.
   std::atomic<size_t> approx_size_{0};
+  std::atomic<obs::Histogram*> depth_hist_{nullptr};
   std::atomic<int64_t> put_count_{0};
   std::atomic<bool> shutdown_flag_{false};
   uint64_t next_seq_ = 0;

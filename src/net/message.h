@@ -117,6 +117,14 @@ struct Message {
   int64_t deliver_ns = 0;
   int32_t hops = 0;  // forwarding depth, for stats & loop guards
 
+  // Observability: this message belongs to a sampled (traced) operation.
+  // Servers record per-hop queue/net phase events for traced messages and
+  // the completion event when a traced response finishes its op. The flag
+  // must survive every hop of the protocol -- forwards, replies, deferral
+  // copies, and the localize -> instruct -> transfer chain all propagate
+  // it (the same plumbing discipline as the replication flags).
+  bool traced = false;
+
   // Approximate wire size used by the latency model and byte counters.
   size_t WireBytes() const {
     return 48 + keys.size() * sizeof(Key) + val_count() * sizeof(Val) +

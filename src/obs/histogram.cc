@@ -1,0 +1,99 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+
+namespace lapse {
+namespace obs {
+
+int64_t Histogram::Min() const {
+  const int64_t m = min_.load(std::memory_order_relaxed);
+  return m == INT64_MAX ? 0 : m;
+}
+
+int64_t Histogram::Max() const {
+  const int64_t m = max_.load(std::memory_order_relaxed);
+  return m < 0 ? 0 : m;
+}
+
+int64_t Histogram::BucketMidpoint(size_t index) {
+  if (index < static_cast<size_t>(kSubBuckets)) {
+    return static_cast<int64_t>(index);
+  }
+  const int octave = static_cast<int>(index >> kSubBucketBits) - 1;
+  const int64_t sub = static_cast<int64_t>(index) & (kSubBuckets - 1);
+  const int msb = octave + kSubBucketBits;
+  const int64_t lower = (int64_t{1} << msb) + (sub << octave);
+  const int64_t width = int64_t{1} << octave;
+  return lower + width / 2;
+}
+
+int64_t Histogram::ValueAtQuantile(double q) const {
+  const int64_t total = Count();
+  if (total == 0) return 0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the target sample, 1-based: the smallest bucket whose
+  // cumulative count reaches it holds the quantile.
+  int64_t target = static_cast<int64_t>(q * static_cast<double>(total) + 0.5);
+  target = std::min(total, std::max<int64_t>(1, target));
+  int64_t cum = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    cum += buckets_[i].load(std::memory_order_relaxed);
+    if (cum >= target) {
+      // Clamp to the observed range: midpoints of the extreme buckets can
+      // otherwise exceed a recorded max (or undershoot the min).
+      return std::min(Max(), std::max(Min(), BucketMidpoint(i)));
+    }
+  }
+  return Max();
+}
+
+void Histogram::MergeFrom(const Histogram& other) {
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    const int64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.Count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.Sum(), std::memory_order_relaxed);
+  if (other.Count() > 0) {
+    UpdateMin(other.Min());
+    UpdateMax(other.Max());
+  }
+}
+
+HistogramSummary Histogram::Summarize() const {
+  HistogramSummary s;
+  s.count = Count();
+  s.sum = Sum();
+  s.min = Min();
+  s.max = Max();
+  s.p50 = ValueAtQuantile(0.50);
+  s.p95 = ValueAtQuantile(0.95);
+  s.p99 = ValueAtQuantile(0.99);
+  s.p999 = ValueAtQuantile(0.999);
+  return s;
+}
+
+Summary Histogram::ToSummary() const {
+  const HistogramSummary h = Summarize();
+  Summary s;
+  s.n = static_cast<size_t>(h.count);
+  s.min = static_cast<double>(h.min);
+  s.max = static_cast<double>(h.max);
+  s.mean = h.Mean();
+  s.p50 = static_cast<double>(h.p50);
+  s.p95 = static_cast<double>(h.p95);
+  s.p99 = static_cast<double>(h.p99);
+  s.p999 = static_cast<double>(h.p999);
+  return s;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(INT64_MAX, std::memory_order_relaxed);
+  max_.store(-1, std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace lapse

@@ -1,0 +1,123 @@
+#ifndef LAPSE_OBS_HISTOGRAM_H_
+#define LAPSE_OBS_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "util/stats.h"
+
+namespace lapse {
+namespace obs {
+
+// Summary of a histogram at one point in time (all values in the unit the
+// histogram was fed with, typically nanoseconds). Percentiles are bucket
+// midpoints, so they carry the histogram's relative error (<= ~3%).
+struct HistogramSummary {
+  int64_t count = 0;
+  int64_t sum = 0;
+  int64_t min = 0;
+  int64_t max = 0;
+  int64_t p50 = 0;
+  int64_t p95 = 0;
+  int64_t p99 = 0;
+  int64_t p999 = 0;
+  double Mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+// HDR-style log-linear latency histogram: each power-of-two octave is split
+// into 2^kSubBucketBits linear sub-buckets, bounding the relative error of
+// any recorded value (and thus of every percentile) by 2^-kSubBucketBits.
+// Add() is lock-free (relaxed atomic increments), so workers on the hot
+// path and the collector thread share one instance without coordination;
+// histograms from different workers/nodes merge by bucket-wise addition.
+// This replaces the sort-a-vector util::Summarize path for high-volume
+// measurement: memory and Add cost are O(1) in the number of samples.
+class Histogram {
+ public:
+  // 32 sub-buckets per octave => <= 3.125% relative error per value.
+  static constexpr int kSubBucketBits = 5;
+  static constexpr int64_t kSubBuckets = int64_t{1} << kSubBucketBits;
+  // Buckets cover [0, 2^63): values 0..31 exactly, then one group of 32
+  // sub-buckets per octave 5..62.
+  static constexpr size_t kNumBuckets =
+      static_cast<size_t>((62 - kSubBucketBits + 1) << kSubBucketBits) +
+      kSubBuckets;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  // Records one value. Negative values clamp to 0. Lock-free.
+  void Add(int64_t value) {
+    const int64_t v = value < 0 ? 0 : value;
+    buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    UpdateMin(v);
+    UpdateMax(v);
+  }
+
+  int64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  int64_t Min() const;  // 0 when empty
+  int64_t Max() const;  // 0 when empty
+
+  // Value at quantile q in [0, 1] (bucket midpoint; 0 when empty).
+  int64_t ValueAtQuantile(double q) const;
+
+  // Bucket-wise addition of `other` into this histogram. Safe against
+  // concurrent Add() on either side (the merge is then approximate, like
+  // any concurrent snapshot).
+  void MergeFrom(const Histogram& other);
+
+  // Consistent-enough snapshot of the common percentiles.
+  HistogramSummary Summarize() const;
+
+  // Bridge to the util/stats Summary type (for code that prints via
+  // ToString(Summary), e.g. bench stat dumps).
+  Summary ToSummary() const;
+
+  void Reset();
+
+  // The representative (midpoint) value of bucket `index`; exposed for
+  // tests of the bucketing error bound.
+  static int64_t BucketMidpoint(size_t index);
+
+  static size_t BucketIndex(int64_t v) {
+    if (v < kSubBuckets) return static_cast<size_t>(v);
+    // Highest set bit; v >= 32 here, so the builtin's argument is nonzero.
+    const int msb = 63 - __builtin_clzll(static_cast<uint64_t>(v));
+    const int octave = msb - kSubBucketBits;  // >= 0
+    const int64_t sub = (v >> octave) & (kSubBuckets - 1);
+    return static_cast<size_t>(((octave + 1) << kSubBucketBits) | sub);
+  }
+
+ private:
+  void UpdateMin(int64_t v) {
+    int64_t cur = min_.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  void UpdateMax(int64_t v) {
+    int64_t cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::array<std::atomic<int64_t>, kNumBuckets> buckets_{};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> min_{INT64_MAX};
+  std::atomic<int64_t> max_{-1};
+};
+
+}  // namespace obs
+}  // namespace lapse
+
+#endif  // LAPSE_OBS_HISTOGRAM_H_

@@ -1,0 +1,39 @@
+#ifndef LAPSE_OBS_OBS_CONFIG_H_
+#define LAPSE_OBS_OBS_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace lapse {
+namespace obs {
+
+// Knobs of the observability layer. Kept in its own header so ps::Config
+// can embed one without pulling the collector machinery in.
+struct ObsConfig {
+  // Master switch: off means no rings, no collector thread, no registry --
+  // and zero added branches anywhere (all hook pointers stay null).
+  bool enabled = false;
+  // Workers trace every sample_every-th operation end to end (pull, push,
+  // localize; replica flushes are traced on the same countdown). 0 turns
+  // op tracing off while keeping the registry/histogram side alive.
+  uint32_t sample_every = 64;
+  // Capacity of each thread's trace-event ring (rounded up to a power of
+  // two, minimum 64). Overflow drops events; the affected op records are
+  // discarded, never blocked on.
+  size_t ring_capacity = 4096;
+  // Collector cadence: how often rings are drained, op records finalized,
+  // and a registry snapshot taken (the placement-manager tick default).
+  int64_t snapshot_micros = 500;
+  // Bound on finalized per-op records kept for trace export; further
+  // records feed the histograms but are dropped from the trace buffer.
+  size_t max_trace_records = 65536;
+  // Optional export paths, written automatically on system teardown (and
+  // any time via PsSystem::DumpMetrics / DumpTrace). Empty = no auto dump.
+  std::string metrics_json_path;
+  std::string trace_path;  // chrome://tracing JSON
+};
+
+}  // namespace obs
+}  // namespace lapse
+
+#endif  // LAPSE_OBS_OBS_CONFIG_H_

@@ -1,0 +1,148 @@
+#ifndef LAPSE_OBS_TIMELINE_H_
+#define LAPSE_OBS_TIMELINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/message.h"
+
+namespace lapse {
+namespace obs {
+
+// Which slice of a sampled operation's lifetime an event describes. Phases
+// are recorded where they happen (worker or any server the op touches) and
+// stitched back together per op id by the background collector.
+enum class Phase : uint8_t {
+  kIssue = 0,       // t_ns = issue timestamp (carries the op kind)
+  kLocal,           // t_ns = duration: worker-side latch acquire + copy/fold
+  kQueue,           // t_ns = duration: inbox wait before a server handled
+                    //        one hop (delivery -> processing start)
+  kNet,             // t_ns = duration: simulated wire time of one hop
+  kRelocStall,      // t_ns = duration: deferred behind an in-flight
+                    //        relocation until the transfer landed
+  kReplicaMiss,     // marker: a pinned replica was too stale to serve
+  kReplicaRefresh,  // marker: a pull response re-installed a pinned copy
+  kComplete,        // t_ns = completion timestamp
+  kNumPhases
+};
+
+// Kind of the traced worker operation (carried by the kIssue event).
+enum class OpKind : uint8_t { kPull = 0, kPush, kLocalize, kFlush, kNumKinds };
+
+const char* PhaseName(Phase p);
+const char* OpKindName(OpKind k);
+
+// Op ids are unique per (node, thread slot); the packed uid makes them
+// globally unique so events recorded on different nodes can be joined.
+// Layout: node in bits 54.., thread slot in bits 48..53, op id below.
+// Inline-completed ops (OpTracker::kImmediate) have no tracker id; workers
+// substitute a per-thread sequence number tagged with kInlineOpBit.
+constexpr uint64_t kInlineOpBit = uint64_t{1} << 47;
+constexpr uint64_t kOpIdMask = (uint64_t{1} << 48) - 1;
+
+inline uint64_t PackUid(NodeId node, int32_t thread, uint64_t op_id) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(node)) << 54) |
+         (static_cast<uint64_t>(static_cast<uint32_t>(thread)) << 48) |
+         (op_id & kOpIdMask);
+}
+inline int32_t UidThread(uint64_t uid) {
+  return static_cast<int32_t>((uid >> 48) & 0x3f);
+}
+inline NodeId UidNode(uint64_t uid) {
+  return static_cast<NodeId>(uid >> 54);
+}
+
+// One phase event of one sampled op. 24 bytes; recorded on hot paths, so it
+// stays a trivially-copyable value type.
+struct TraceEvent {
+  uint64_t uid = 0;
+  int64_t t_ns = 0;  // timestamp (kIssue/kComplete) or duration (others)
+  Phase phase = Phase::kIssue;
+  OpKind kind = OpKind::kPull;  // meaningful on kIssue only
+  uint8_t node = 0;             // node that recorded the event
+
+  static TraceEvent Issue(uint64_t uid, OpKind kind, int64_t at_ns,
+                          NodeId node) {
+    return {uid, at_ns, Phase::kIssue, kind, static_cast<uint8_t>(node)};
+  }
+  static TraceEvent Dur(uint64_t uid, Phase phase, int64_t dur_ns,
+                        NodeId node) {
+    return {uid, dur_ns, phase, OpKind::kPull, static_cast<uint8_t>(node)};
+  }
+  static TraceEvent Mark(uint64_t uid, Phase phase, NodeId node) {
+    return {uid, 0, phase, OpKind::kPull, static_cast<uint8_t>(node)};
+  }
+  static TraceEvent Complete(uint64_t uid, int64_t at_ns, NodeId node) {
+    return {uid, at_ns, Phase::kComplete, OpKind::kPull,
+            static_cast<uint8_t>(node)};
+  }
+};
+
+// Bounded single-producer/single-consumer ring of trace events, modeled on
+// adapt::SampleRing: the producer is one worker or server thread, the
+// consumer is the observability collector. Push never blocks and never
+// allocates; when the collector falls behind, events are dropped and
+// counted (the affected op records finalize incomplete and are discarded,
+// which is acceptable for a sampling tracer).
+class EventRing {
+ public:
+  // `capacity` is rounded up to a power of two (minimum 64).
+  explicit EventRing(size_t capacity);
+
+  EventRing(const EventRing&) = delete;
+  EventRing& operator=(const EventRing&) = delete;
+
+  // Producer side. Returns false (and counts a drop) when full.
+  bool TryPush(TraceEvent ev) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) >= buf_.size()) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    buf_[tail & mask_] = ev;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side: appends every pending event to `out`, returns how many.
+  size_t Drain(std::vector<TraceEvent>* out);
+
+  size_t capacity() const { return buf_.size(); }
+  int64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<TraceEvent> buf_;
+  uint64_t mask_;
+  alignas(64) std::atomic<uint64_t> head_{0};  // consumer cursor
+  alignas(64) std::atomic<uint64_t> tail_{0};  // producer cursor
+  std::atomic<int64_t> dropped_{0};
+};
+
+// One node's trace rings, one per thread slot (0 = server, 1..W = workers,
+// W+1 = the placement manager's protocol worker), mirroring
+// adapt::AccessStats. Owned by the Observability instance; NodeContext and
+// the threads hold raw pointers.
+class NodeObs {
+ public:
+  NodeObs(int num_slots, size_t ring_capacity);
+
+  EventRing* Ring(int32_t slot) { return rings_[slot].get(); }
+  int num_slots() const { return static_cast<int>(rings_.size()); }
+
+  // Drains every ring into `out` (appending); returns total drained.
+  size_t DrainAll(std::vector<TraceEvent>* out);
+
+  int64_t TotalDropped() const;
+
+ private:
+  std::vector<std::unique_ptr<EventRing>> rings_;
+};
+
+}  // namespace obs
+}  // namespace lapse
+
+#endif  // LAPSE_OBS_TIMELINE_H_

@@ -115,6 +115,22 @@ void Config::Validate() const {
         << "Config: adaptive.max_localizes_per_tick must be >= 1";
   }
 
+  if (obs.enabled) {
+    LAPSE_CHECK_GE(obs.ring_capacity, 64u)
+        << "Config: obs.ring_capacity must be >= 64 (the event rings round "
+           "up to a power of two; smaller rings drop most traced ops)";
+    LAPSE_CHECK_GT(obs.snapshot_micros, 0)
+        << "Config: obs.snapshot_micros must be positive (it is the "
+           "collector's drain/snapshot cadence)";
+    LAPSE_CHECK_GE(obs.max_trace_records, 1u)
+        << "Config: obs.max_trace_records must be >= 1 (0 would discard "
+           "every finalized record before export)";
+  } else {
+    LAPSE_CHECK(obs.metrics_json_path.empty() && obs.trace_path.empty())
+        << "Config: obs export paths are set but obs.enabled is false -- "
+           "nothing would ever be written to them";
+  }
+
   if (replication) {
     LAPSE_CHECK(arch == Architecture::kLapse)
         << "Config: replication needs dynamic parameter allocation "

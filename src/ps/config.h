@@ -6,6 +6,7 @@
 
 #include "net/latency_model.h"
 #include "net/message.h"
+#include "obs/obs_config.h"
 
 namespace lapse {
 namespace ps {
@@ -155,6 +156,12 @@ struct Config {
   // the age trigger has not fired yet. 1 flushes every push (write-through
   // message count, still batched per destination).
   uint32_t replica_flush_max_folds = 32;
+
+  // --- observability (src/obs) ------------------------------------------
+  // Sampling per-op timeline tracing, latency histograms, and the metrics
+  // registry with JSON / chrome://tracing export (PsSystem::DumpMetrics,
+  // PsSystem::DumpTrace). Works with every architecture and strategy.
+  obs::ObsConfig obs;
 
   // Normalizes dependent options (classic architectures force the static
   // partition strategy and disable caches) and validates ranges. Dies with

@@ -12,6 +12,7 @@
 #include "adapt/access_stats.h"
 #include "net/message.h"
 #include "net/network.h"
+#include "obs/timeline.h"
 #include "ps/config.h"
 #include "ps/key_layout.h"
 #include "ps/latch_table.h"
@@ -43,6 +44,11 @@ struct DeferredLocalOp {
   std::vector<Val> push_update;   // for pushes (copied)
   int32_t worker_thread = -1;     // issuing worker slot
   uint64_t op_id = 0;
+  // Observability: the op is traced; queued_ns (set only then) is when the
+  // item entered the arrival queue, so the drain can attribute the
+  // relocation stall.
+  bool traced = false;
+  int64_t queued_ns = 0;
 };
 
 // Items queued for an arriving key, in arrival order: local ops, forwarded
@@ -55,10 +61,29 @@ struct ArrivingKey {
   // Localize ops of this node's own workers issued while the key was
   // already in flight; coalesced onto the pending relocation instead of
   // re-sending. Completed when the transfer arrives.
-  std::vector<std::pair<int32_t, uint64_t>> localize_waiters;
+  struct LocalizeWaiter {
+    int32_t thread = -1;
+    uint64_t op_id = 0;
+    bool traced = false;      // observability: record stall + completion
+    int64_t queued_ns = 0;    // set only when traced
+  };
+  std::vector<LocalizeWaiter> localize_waiters;
 };
 
 // Per-node performance counters (Table 5, Section 4.6).
+//
+// RULES for adding counters here -- or any counter touched on the hot
+// paths (learned the hard way in PR 3):
+//  * Append new counters at the END of the struct. The hot counters sit on
+//    cache lines the fast paths already own; inserting a field mid-struct
+//    shifts them onto new lines and showed up as a double-digit-percent
+//    local-op regression.
+//  * Never call Counter::Add(0) unconditionally on a fast path: the add
+//    still dirties the counter's cache line. Guard it --
+//    `if (n > 0) stats.c.Add(n)` -- or batch into a local and add once.
+// The same discipline applies to observability hooks: one predictable
+// branch (null/zero check) per operation is the budget, everything else
+// runs only for sampled ops or off the hot path entirely.
 struct ServerStats {
   Counter local_key_reads;    // keys served via shared-memory fast path
   Counter remote_key_reads;   // keys this node's workers read via messages
@@ -121,6 +146,10 @@ struct NodeContext {
   // Replica store for contended read-mostly keys (null unless
   // config.replication).
   std::unique_ptr<ReplicaManager> replicas;
+  // Trace-event rings of the observability layer, one per thread slot
+  // (owned by the PsSystem's obs::Observability; null unless
+  // config.obs.enabled with sample_every > 0).
+  obs::NodeObs* obs = nullptr;
 
   // Sharded by key to keep worker queueing and server draining off one
   // mutex.

@@ -94,8 +94,11 @@ class OpTracker {
   }
 
   // Marks `n` keys of op `id` complete; wakes waiters when it reaches zero.
-  void CompleteKeys(uint64_t id, size_t n) {
-    if (id == kImmediate || n == 0) return;
+  // Returns true iff this call completed the op (exactly one caller per op
+  // observes true -- the observability layer uses it to stamp the op's
+  // completion event at the site that actually finished it).
+  bool CompleteKeys(uint64_t id, size_t n) {
+    if (id == kImmediate || n == 0) return false;
     std::unique_lock<std::mutex> lock(mu_);
     auto it = ops_.find(id);
     LAPSE_CHECK(it != ops_.end()) << "completion for unknown op " << id;
@@ -105,7 +108,9 @@ class OpTracker {
     if (before == n) {
       lock.unlock();
       cv_.notify_all();
+      return true;
     }
+    return false;
   }
 
   // Issue timestamp of op `id` (0 if unknown/retired).

@@ -82,6 +82,10 @@ bool ReplicaManager::TryRead(Key k, Val* dst) {
     return false;
   }
   std::memcpy(dst, values_[k].get(), layout_->Length(k) * sizeof(Val));
+  if (obs::Histogram* h =
+          read_age_hist_.load(std::memory_order_acquire)) {
+    h->Add(now - tag2);
+  }
   return true;
 }
 

@@ -27,6 +27,8 @@ Message SingleKeyCopy(const Message& msg, Key k) {
   d.op_id = msg.op_id;
   d.requester_node = msg.requester_node;
   d.hops = msg.hops;
+  d.traced = msg.traced;
+  d.deliver_ns = msg.deliver_ns;  // deferral start for the stall phase
   d.keys.push_back(k);
   return d;
 }
@@ -38,6 +40,7 @@ Server::Server(NodeContext* ctx, net::Network* network)
       network_(network),
       endpoint_(network->CreateEndpoint(ctx->node, /*thread=*/0)) {
   groups_.Resize(static_cast<size_t>(network->num_nodes()));
+  if (ctx_->obs != nullptr) trace_ring_ = ctx_->obs->Ring(/*slot=*/0);
 }
 
 void Server::Run() {
@@ -57,9 +60,22 @@ void Server::Run() {
   }
 }
 
+void Server::RecordHop(const Message& msg) {
+  const uint64_t uid =
+      obs::PackUid(msg.orig_node, msg.orig_thread, msg.op_id);
+  trace_ring_->TryPush(obs::TraceEvent::Dur(
+      uid, obs::Phase::kQueue, NowNanos() - msg.deliver_ns, ctx_->node));
+  trace_ring_->TryPush(obs::TraceEvent::Dur(
+      uid, obs::Phase::kNet, msg.deliver_ns - msg.send_ns, ctx_->node));
+}
+
 void Server::Handle(Message& msg) {
   ctx_->stats.backlog_ns[static_cast<size_t>(msg.type)].Add(
       NowNanos() - msg.deliver_ns);
+  if (msg.traced && trace_ring_ != nullptr &&
+      msg.op_id != OpTracker::kImmediate) {
+    RecordHop(msg);
+  }
   LAPSE_CHECK_LE(msg.hops, 4 * network_->num_nodes())
       << "routing loop: " << msg.DebugString();
   switch (msg.type) {
@@ -203,6 +219,7 @@ void Server::HandleOp(Message& msg) {
     f.orig_thread = msg.orig_thread;
     f.op_id = msg.op_id;
     f.hops = msg.hops + 1;
+    f.traced = msg.traced;
     f.keys = groups_.TakeKeys(dst);
     f.vals = groups_.TakeVals(dst);
     endpoint_->Send(std::move(f));
@@ -251,6 +268,7 @@ void Server::HandleLocalize(Message& msg) {
       t.orig_node = msg.orig_node;
       t.orig_thread = msg.orig_thread;
       t.op_id = msg.op_id;
+      t.traced = msg.traced;
       t.keys = std::move(tkeys);
       t.vals = std::move(tvals);
       endpoint_->Send(std::move(t));
@@ -308,6 +326,7 @@ void Server::HandleLocalize(Message& msg) {
     n.orig_node = msg.orig_node;
     n.orig_thread = msg.orig_thread;
     n.op_id = msg.op_id;
+    n.traced = msg.traced;
     n.keys = std::move(noop_keys);
     endpoint_->Send(std::move(n));
   } else {
@@ -323,6 +342,7 @@ void Server::HandleLocalize(Message& msg) {
     instr.orig_thread = msg.orig_thread;
     instr.op_id = msg.op_id;
     instr.hops = msg.hops + 1;
+    instr.traced = msg.traced;
     instr.keys = groups_.TakeKeys(old_owner);
     if (old_owner == ctx_->node) {
       // The home itself is the old owner: hand over directly (the 2-message
@@ -360,6 +380,7 @@ void Server::HandleInstruct(Message& msg) {
     t.orig_node = msg.orig_node;
     t.orig_thread = msg.orig_thread;
     t.op_id = msg.op_id;
+    t.traced = msg.traced;
     t.keys = std::move(tkeys);
     t.vals = std::move(tvals);
     endpoint_->Send(std::move(t));
@@ -401,7 +422,19 @@ void Server::HandleTransfer(Message& msg) {
   }
   // All keys of one transfer belong to the same localize op: complete them
   // in one tracker transaction.
-  tracker.CompleteKeys(msg.op_id, msg.keys.size());
+  const bool done = tracker.CompleteKeys(msg.op_id, msg.keys.size());
+  if (msg.traced && trace_ring_ != nullptr && !eviction) {
+    // The localize op's whole round-trip is relocation time by definition.
+    const uint64_t uid =
+        obs::PackUid(msg.orig_node, msg.orig_thread, msg.op_id);
+    if (rt > 0) {
+      trace_ring_->TryPush(
+          obs::TraceEvent::Dur(uid, obs::Phase::kRelocStall, rt, ctx_->node));
+    }
+    if (done) {
+      trace_ring_->TryPush(obs::TraceEvent::Complete(uid, now, ctx_->node));
+    }
+  }
 }
 
 void Server::DrainArrived(Key k) {
@@ -416,8 +449,17 @@ void Server::DrainArrived(Key k) {
   }
 
   // Coalesced localize calls by local workers complete now.
-  for (const auto& [thread, op_id] : entry.localize_waiters) {
-    ctx_->TrackerFor(thread).CompleteKeys(op_id, 1);
+  for (const auto& w : entry.localize_waiters) {
+    const bool done = ctx_->TrackerFor(w.thread).CompleteKeys(w.op_id, 1);
+    if (w.traced && trace_ring_ != nullptr) {
+      const uint64_t uid = obs::PackUid(ctx_->node, w.thread, w.op_id);
+      const int64_t now = NowNanos();
+      trace_ring_->TryPush(obs::TraceEvent::Dur(
+          uid, obs::Phase::kRelocStall, now - w.queued_ns, ctx_->node));
+      if (done) {
+        trace_ring_->TryPush(obs::TraceEvent::Complete(uid, now, ctx_->node));
+      }
+    }
   }
 
   const size_t len = ctx_->layout->Length(k);
@@ -431,11 +473,31 @@ void Server::DrainArrived(Key k) {
       } else {
         AddTo(slot, op.push_update.data(), len);
       }
-      ctx_->TrackerFor(op.worker_thread).CompleteKeys(op.op_id, 1);
+      const bool done =
+          ctx_->TrackerFor(op.worker_thread).CompleteKeys(op.op_id, 1);
+      if (op.traced && trace_ring_ != nullptr) {
+        const uint64_t uid =
+            obs::PackUid(ctx_->node, op.worker_thread, op.op_id);
+        const int64_t now = NowNanos();
+        trace_ring_->TryPush(obs::TraceEvent::Dur(
+            uid, obs::Phase::kRelocStall, now - op.queued_ns, ctx_->node));
+        if (done) {
+          trace_ring_->TryPush(
+              obs::TraceEvent::Complete(uid, now, ctx_->node));
+        }
+      }
       continue;
     }
     Message& m = std::get<Message>(item);
     if (m.type == MsgType::kPull || m.type == MsgType::kPush) {
+      if (m.traced && trace_ring_ != nullptr &&
+          m.op_id != OpTracker::kImmediate) {
+        // How long the forwarded op sat behind the relocation (measured
+        // from its delivery here; completion is recorded at its origin).
+        trace_ring_->TryPush(obs::TraceEvent::Dur(
+            obs::PackUid(m.orig_node, m.orig_thread, m.op_id),
+            obs::Phase::kRelocStall, NowNanos() - m.deliver_ns, ctx_->node));
+      }
       std::vector<Key> reply_keys = BufferPool::GetKeys();
       std::vector<Val> reply_vals = BufferPool::GetVals();
       ServeOwnedKey(m, 0, k, m.val_data(), &reply_keys, &reply_vals);
@@ -468,6 +530,7 @@ void Server::DrainArrived(Key k) {
     t.orig_node = m.orig_node;
     t.orig_thread = m.orig_thread;
     t.op_id = m.op_id;
+    t.traced = m.traced;
     t.keys = std::move(tkeys);
     t.vals = std::move(tvals);
     endpoint_->Send(std::move(t));
@@ -496,6 +559,7 @@ void Server::ForwardDeferred(Key k, Deferred item) {
     m.orig_node = ctx_->node;
     m.orig_thread = op.worker_thread;
     m.op_id = op.op_id;
+    m.traced = op.traced;
     m.keys.push_back(k);
     if (op.type == MsgType::kPush) m.vals = std::move(op.push_update);
   } else {
@@ -519,22 +583,44 @@ void Server::HandlePullResp(const Message& msg) {
     // the staleness bound stay local.
     if (ctx_->replicas && ctx_->replicas->IsPinned(k)) {
       ctx_->replicas->Install(k, msg.vals.data() + val_off);
+      if (msg.traced && trace_ring_ != nullptr) {
+        trace_ring_->TryPush(obs::TraceEvent::Mark(
+            obs::PackUid(msg.orig_node, msg.orig_thread, msg.op_id),
+            obs::Phase::kReplicaRefresh, ctx_->node));
+      }
     }
     val_off += len;
     if (ctx_->cache) ctx_->cache->Update(k, msg.src_node);
   }
-  tracker.CompleteKeys(msg.op_id, msg.keys.size());
+  if (tracker.CompleteKeys(msg.op_id, msg.keys.size()) && msg.traced &&
+      trace_ring_ != nullptr) {
+    trace_ring_->TryPush(obs::TraceEvent::Complete(
+        obs::PackUid(msg.orig_node, msg.orig_thread, msg.op_id), NowNanos(),
+        ctx_->node));
+  }
 }
 
 void Server::HandlePushAck(const Message& msg) {
   if (ctx_->cache) {
     for (const Key k : msg.keys) ctx_->cache->Update(k, msg.src_node);
   }
-  ctx_->TrackerFor(msg.orig_thread).CompleteKeys(msg.op_id, msg.keys.size());
+  if (ctx_->TrackerFor(msg.orig_thread)
+          .CompleteKeys(msg.op_id, msg.keys.size()) &&
+      msg.traced && trace_ring_ != nullptr) {
+    trace_ring_->TryPush(obs::TraceEvent::Complete(
+        obs::PackUid(msg.orig_node, msg.orig_thread, msg.op_id), NowNanos(),
+        ctx_->node));
+  }
 }
 
 void Server::HandleLocalizeNoop(const Message& msg) {
-  ctx_->TrackerFor(msg.orig_thread).CompleteKeys(msg.op_id, msg.keys.size());
+  if (ctx_->TrackerFor(msg.orig_thread)
+          .CompleteKeys(msg.op_id, msg.keys.size()) &&
+      msg.traced && trace_ring_ != nullptr) {
+    trace_ring_->TryPush(obs::TraceEvent::Complete(
+        obs::PackUid(msg.orig_node, msg.orig_thread, msg.op_id), NowNanos(),
+        ctx_->node));
+  }
 }
 
 void Server::HandleLocationUpdate(const Message& msg) {
@@ -638,6 +724,7 @@ void Server::SendReply(const Message& request, MsgType type,
   r.orig_node = request.orig_node;
   r.orig_thread = request.orig_thread;
   r.op_id = request.op_id;
+  r.traced = request.traced;
   r.keys = std::move(keys);
   r.vals = std::move(vals);
   endpoint_->Send(std::move(r));

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "net/network.h"
+#include "obs/timeline.h"
 #include "ps/dest_groups.h"
 #include "ps/node_context.h"
 
@@ -95,6 +96,10 @@ class Server {
   void SendReply(const net::Message& request, net::MsgType type,
                  std::vector<Key> keys, std::vector<Val> vals);
 
+  // Records the queue-wait and wire-time phase events of one hop of a
+  // traced message (out of line; traced messages are rare by sampling).
+  void RecordHop(const net::Message& msg);
+
   NodeContext* ctx_;
   net::Network* network_;
   std::unique_ptr<net::Endpoint> endpoint_;
@@ -113,6 +118,11 @@ class Server {
   // (registrations and ownership moves both arrive on this thread), so no
   // lock. Only keys that were ever flagged for replication have entries.
   std::unordered_map<Key, std::vector<NodeId>> replica_holders_;
+
+  // This server thread's trace-event ring (slot 0 of the node's NodeObs);
+  // null unless per-op tracing is enabled. Untraced messages pay one null
+  // check + one flag test in Handle().
+  obs::EventRing* trace_ring_ = nullptr;
 };
 
 }  // namespace ps

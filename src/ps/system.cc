@@ -62,6 +62,18 @@ PsSystem::PsSystem(Config config)
     }
     nodes_.push_back(std::move(ctx));
   }
+  if (config_.obs.enabled) {
+    // Before the servers: they grab their trace ring in their constructor.
+    obs_ = std::make_unique<obs::Observability>(
+        config_.obs, config_.num_nodes, config_.workers_per_node + 2);
+    for (NodeId n = 0; n < config_.num_nodes; ++n) {
+      nodes_[n]->obs = obs_->NodeRings(n);
+      network_.inbox(n).SetDepthHistogram(&obs_->InboxDepth());
+      if (nodes_[n]->replicas) {
+        nodes_[n]->replicas->SetReadAgeHistogram(&obs_->ReplicaReadAge());
+      }
+    }
+  }
   servers_.reserve(config_.num_nodes);
   for (NodeId n = 0; n < config_.num_nodes; ++n) {
     servers_.push_back(std::make_unique<Server>(nodes_[n].get(), &network_));
@@ -77,14 +89,110 @@ PsSystem::PsSystem(Config config)
           nodes_[n].get(), &network_));
     }
   }
+  if (obs_ != nullptr) {
+    for (auto& m : managers_) m->SetTickHistogram(&obs_->AdaptTick());
+    RegisterMetrics();
+    obs_->Start();
+  }
 }
 
 PsSystem::~PsSystem() {
+  if (obs_ != nullptr) {
+    // Final drain + auto-export while every counter and ring still lives.
+    obs_->Stop();
+    if (!config_.obs.metrics_json_path.empty()) {
+      obs_->WriteMetricsJson(config_.obs.metrics_json_path);
+    }
+    if (!config_.obs.trace_path.empty()) {
+      obs_->WriteChromeTrace(config_.obs.trace_path);
+    }
+  }
   // Managers first: stopping them drains their in-flight relocations,
   // which needs the servers still running.
   managers_.clear();
   network_.Shutdown();
   for (auto& t : server_threads_) t.join();
+}
+
+bool PsSystem::DumpMetrics(const std::string& path) {
+  if (obs_ == nullptr) return false;
+  obs_->Flush();
+  return obs_->WriteMetricsJson(path);
+}
+
+bool PsSystem::DumpTrace(const std::string& path) {
+  if (obs_ == nullptr) return false;
+  obs_->Flush();
+  return obs_->WriteChromeTrace(path);
+}
+
+void PsSystem::RegisterMetrics() {
+  obs::MetricsRegistry& reg = obs_->registry();
+  for (NodeId n = 0; n < config_.num_nodes; ++n) {
+    const std::string p = "node" + std::to_string(n) + ".";
+    ServerStats& s = nodes_[n]->stats;
+    reg.AddCounter(p + "local_key_reads", &s.local_key_reads);
+    reg.AddCounter(p + "remote_key_reads", &s.remote_key_reads);
+    reg.AddCounter(p + "local_key_writes", &s.local_key_writes);
+    reg.AddCounter(p + "remote_key_writes", &s.remote_key_writes);
+    reg.AddCounter(p + "queued_local_ops", &s.queued_local_ops);
+    reg.AddCounter(p + "relocations", &s.relocations);
+    reg.AddCounter(p + "localization_conflicts",
+                   &s.localization_conflicts);
+    reg.AddCounter(p + "evictions_received", &s.evictions_received);
+    reg.AddCounter(p + "replica_key_reads", &s.replica_key_reads);
+    reg.AddCounter(p + "replica_key_writes", &s.replica_key_writes);
+    reg.AddCounter(p + "replica_unregisters", &s.replica_unregisters);
+    // The per-message-type backlog counters were recorded on every handled
+    // message but surfaced nowhere until now; count = messages, sum =
+    // total delivery-to-processing lag (ns).
+    for (size_t t = 0; t < static_cast<size_t>(net::MsgType::kNumTypes);
+         ++t) {
+      reg.AddCounter(
+          p + "backlog_ns." + net::MsgTypeName(static_cast<net::MsgType>(t)),
+          &s.backlog_ns[t]);
+    }
+    if (nodes_[n]->replicas) {
+      ReplicaManager* rm = nodes_[n]->replicas.get();
+      reg.AddGauge(p + "replica.pinned",
+                   [rm] { return rm->stats().pinned; });
+      reg.AddGauge(p + "replica.stale_misses",
+                   [rm] { return rm->stats().stale_misses; });
+      reg.AddGauge(p + "replica.installs",
+                   [rm] { return rm->stats().installs; });
+      reg.AddGauge(p + "replica.invalidations",
+                   [rm] { return rm->stats().invalidations; });
+      reg.AddGauge(p + "replica.folds", [rm] { return rm->stats().folds; });
+      reg.AddGauge(p + "replica.flushed_keys",
+                   [rm] { return rm->stats().flushed_keys; });
+      reg.AddGauge(p + "replica.unpins",
+                   [rm] { return rm->stats().unpins; });
+    }
+  }
+  for (auto& mp : managers_) {
+    adapt::PlacementManager* m = mp.get();
+    const std::string p = "node" + std::to_string(m->node()) + ".adapt.";
+    reg.AddGauge(p + "ticks", [m] { return m->stats().ticks; });
+    reg.AddGauge(p + "samples", [m] { return m->stats().samples; });
+    reg.AddGauge(p + "dropped_samples",
+                 [m] { return m->stats().dropped_samples; });
+    reg.AddGauge(p + "localizes_issued",
+                 [m] { return m->stats().localizes_issued; });
+    reg.AddGauge(p + "evictions_issued",
+                 [m] { return m->stats().evictions_issued; });
+    reg.AddGauge(p + "replication_flags",
+                 [m] { return m->stats().replication_flags; });
+    reg.AddGauge(p + "replicas_pinned",
+                 [m] { return m->stats().replicas_pinned; });
+    reg.AddGauge(p + "replicas_unpinned",
+                 [m] { return m->stats().replicas_unpinned; });
+  }
+  net::NetStats* ns = &network_.stats();
+  reg.AddGauge("net.total_messages", [ns] { return ns->total_messages(); });
+  reg.AddGauge("net.total_bytes", [ns] { return ns->total_bytes(); });
+  reg.AddGauge("net.remote_messages",
+               [ns] { return ns->remote_messages(); });
+  reg.AddGauge("net.local_messages", [ns] { return ns->local_messages(); });
 }
 
 void PsSystem::SetReplicationHook(

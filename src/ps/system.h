@@ -8,6 +8,7 @@
 
 #include "adapt/placement_manager.h"
 #include "net/network.h"
+#include "obs/observability.h"
 #include "ps/config.h"
 #include "ps/key_layout.h"
 #include "ps/node_context.h"
@@ -86,6 +87,18 @@ class PsSystem {
     return nodes_[n]->replicas.get();
   }
 
+  // --- observability (config.obs.enabled) -------------------------------
+  // The collector: per-op timelines, latency histograms, and the metrics
+  // registry. Null when config.obs.enabled is false.
+  obs::Observability* observability() { return obs_.get(); }
+  // Flushes the collector and writes a registry snapshot as JSON / the
+  // buffered op timelines as a chrome://tracing file. Return false when
+  // observability is off or the file could not be written. Both also
+  // happen automatically at destruction for the paths configured in
+  // ObsConfig.
+  bool DumpMetrics(const std::string& path);
+  bool DumpTrace(const std::string& path);
+
   // Sums a field over all nodes.
   int64_t TotalLocalReads() const;
   int64_t TotalReplicaReads() const;
@@ -99,6 +112,10 @@ class PsSystem {
   void ResetStats();
 
  private:
+  // Names every live counter/gauge/histogram in obs_'s registry (called
+  // once at construction, after managers exist).
+  void RegisterMetrics();
+
   Config config_;
   KeyLayout layout_;
   net::Network network_;
@@ -108,6 +125,10 @@ class PsSystem {
   std::vector<std::thread> server_threads_;
   // Empty unless config.adaptive.enabled. Paused outside Run() phases.
   std::vector<std::unique_ptr<adapt::PlacementManager>> managers_;
+  // Null unless config.obs.enabled. Declared last: its registry reads
+  // counters living in nodes_ and managers_, so it must be destroyed (and
+  // its collector joined) before they are.
+  std::unique_ptr<obs::Observability> obs_;
 };
 
 }  // namespace ps

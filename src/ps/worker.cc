@@ -40,6 +40,12 @@ Worker::Worker(NodeContext* ctx, net::Network* network,
     sample_countdown_ =
         1 + static_cast<uint32_t>(global_id) % sample_period_;
   }
+  if (ctx_->obs != nullptr) {
+    trace_ring_ = ctx_->obs->Ring(thread_slot);
+    trace_period_ = ctx_->config->obs.sample_every;
+    trace_countdown_ =
+        1 + static_cast<uint32_t>(global_id) % trace_period_;
+  }
   scratch_.groups.Resize(static_cast<size_t>(ctx_->layout->num_nodes()));
 }
 
@@ -62,6 +68,25 @@ void Worker::CheckDistinct(const std::vector<Key>& keys) const {
   }
 }
 #endif
+
+void Worker::RecordTrace(obs::OpKind kind, uint64_t op, int64_t t_issue,
+                         int64_t replica_misses, bool completed) {
+  const uint64_t raw =
+      op == kImmediate ? (obs::kInlineOpBit | ++trace_inline_seq_) : op;
+  const uint64_t uid = obs::PackUid(ctx_->node, thread_, raw);
+  const int64_t now = NowNanos();
+  trace_ring_->TryPush(
+      obs::TraceEvent::Issue(uid, kind, t_issue, ctx_->node));
+  trace_ring_->TryPush(obs::TraceEvent::Dur(uid, obs::Phase::kLocal,
+                                            now - t_issue, ctx_->node));
+  for (int64_t i = 0; i < replica_misses; ++i) {
+    trace_ring_->TryPush(
+        obs::TraceEvent::Mark(uid, obs::Phase::kReplicaMiss, ctx_->node));
+  }
+  if (completed) {
+    trace_ring_->TryPush(obs::TraceEvent::Complete(uid, now, ctx_->node));
+  }
+}
 
 void Worker::RecordAccessSample(const std::vector<Key>& keys,
                                 bool is_write) {
@@ -96,6 +121,9 @@ NodeId Worker::RemoteDst(Key k) const {
 uint64_t Worker::PullAsync(const std::vector<Key>& keys, Val* dst) {
   CheckDistinct(keys);
   if (SampleThisOp()) RecordAccessSample(keys, /*is_write=*/false);
+  const bool traced = TraceThisOp();
+  const int64_t t_issue = traced ? NowNanos() : 0;
+  int64_t trace_misses = 0;  // stale pinned replicas seen by this op
   const KeyLayout& layout = *ctx_->layout;
 
   // Fast path (shared-memory access, §3.3): optimistically serve each key
@@ -122,6 +150,9 @@ uint64_t Worker::PullAsync(const std::vector<Key>& keys, Val* dst) {
           done_off += layout.Length(k);
           continue;
         }
+        if (traced && replicas_ != nullptr && replicas_->IsPinned(k)) {
+          ++trace_misses;  // pinned but too stale to serve
+        }
         break;
       }
       const size_t len = layout.Length(k);
@@ -134,6 +165,10 @@ uint64_t Worker::PullAsync(const std::vector<Key>& keys, Val* dst) {
                                       replica_reads);
       if (replica_reads > 0) {
         ctx_->stats.replica_key_reads.Add(replica_reads);
+      }
+      if (traced) {
+        RecordTrace(obs::OpKind::kPull, kImmediate, t_issue, trace_misses,
+                    /*completed=*/true);
       }
       return kImmediate;
     }
@@ -180,6 +215,8 @@ uint64_t Worker::PullAsync(const std::vector<Key>& keys, Val* dst) {
         d.pull_dst = dst + off;
         d.worker_thread = thread_;
         d.op_id = op;
+        d.traced = traced;
+        if (traced) d.queued_ns = NowNanos();
         ctx_->QueueDeferred(k, std::move(d));
         ++queued;
         ++local_reads;
@@ -189,11 +226,14 @@ uint64_t Worker::PullAsync(const std::vector<Key>& keys, Val* dst) {
     // i == 0 is the key the fast-path prefix just broke on: its replica
     // was already tried (and missed) there, so don't pay the latch or
     // count a second stale miss for it.
-    if (!handled && replicas_ != nullptr && i > 0 &&
-        replicas_->TryRead(k, dst + off)) {
-      ++inline_done;
-      ++replica_reads;
-      handled = true;
+    if (!handled && replicas_ != nullptr && i > 0) {
+      if (replicas_->TryRead(k, dst + off)) {
+        ++inline_done;
+        ++replica_reads;
+        handled = true;
+      } else if (traced && replicas_->IsPinned(k)) {
+        ++trace_misses;
+      }
     }
     if (handled) continue;
     ++remote_reads;
@@ -216,6 +256,7 @@ uint64_t Worker::PullAsync(const std::vector<Key>& keys, Val* dst) {
     m.orig_node = ctx_->node;
     m.orig_thread = thread_;
     m.op_id = op;
+    m.traced = traced;
     m.keys = sc.groups.TakeKeys(dst_node);
     endpoint_->Send(std::move(m));
   }
@@ -228,12 +269,16 @@ uint64_t Worker::PullAsync(const std::vector<Key>& keys, Val* dst) {
       m.orig_node = ctx_->node;
       m.orig_thread = thread_;
       m.op_id = op;
+      m.traced = traced;
       m.keys = sc.broadcast_keys;
       endpoint_->Send(std::move(m));
     }
   }
 
-  tracker_->CompleteKeys(op, inline_done);
+  const bool done_now = tracker_->CompleteKeys(op, inline_done);
+  if (traced) {
+    RecordTrace(obs::OpKind::kPull, op, t_issue, trace_misses, done_now);
+  }
   return op;
 }
 
@@ -241,6 +286,8 @@ uint64_t Worker::PushAsync(const std::vector<Key>& keys,
                            const Val* updates) {
   CheckDistinct(keys);
   if (SampleThisOp()) RecordAccessSample(keys, /*is_write=*/true);
+  const bool traced = TraceThisOp();
+  const int64_t t_issue = traced ? NowNanos() : 0;
   const KeyLayout& layout = *ctx_->layout;
 
   // Fast path: optimistic per-key application under the key's own latch
@@ -285,6 +332,10 @@ uint64_t Worker::PushAsync(const std::vector<Key>& keys,
                                        replica_folds);
       if (replica_folds > 0) {
         ctx_->stats.replica_key_writes.Add(replica_folds);
+      }
+      if (traced) {
+        RecordTrace(obs::OpKind::kPush, kImmediate, t_issue,
+                    /*replica_misses=*/0, /*completed=*/true);
       }
       if (flush_due) FlushReplicas();
       return kImmediate;
@@ -334,6 +385,8 @@ uint64_t Worker::PushAsync(const std::vector<Key>& keys,
         d.push_update.assign(updates + off, updates + off + len);
         d.worker_thread = thread_;
         d.op_id = op;
+        d.traced = traced;
+        if (traced) d.queued_ns = NowNanos();
         ctx_->QueueDeferred(k, std::move(d));
         ++queued;
         ++local_writes;
@@ -383,6 +436,7 @@ uint64_t Worker::PushAsync(const std::vector<Key>& keys,
     m.orig_node = ctx_->node;
     m.orig_thread = thread_;
     m.op_id = op;
+    m.traced = traced;
     m.keys = sc.groups.TakeKeys(dst_node);
     m.vals = sc.groups.TakeVals(dst_node);
     endpoint_->Send(std::move(m));
@@ -400,13 +454,18 @@ uint64_t Worker::PushAsync(const std::vector<Key>& keys,
       m.orig_node = ctx_->node;
       m.orig_thread = thread_;
       m.op_id = op;
+      m.traced = traced;
       m.keys = sc.broadcast_keys;
       m.shared_vals = shared;
       endpoint_->Send(std::move(m));
     }
   }
 
-  tracker_->CompleteKeys(op, inline_done);
+  const bool done_now = tracker_->CompleteKeys(op, inline_done);
+  if (traced) {
+    RecordTrace(obs::OpKind::kPush, op, t_issue, /*replica_misses=*/0,
+                done_now);
+  }
   // After the op's own sends: FlushReplicas reuses the grouping scratch.
   if (flush_due) FlushReplicas();
   return op;
@@ -414,6 +473,8 @@ uint64_t Worker::PushAsync(const std::vector<Key>& keys,
 
 uint64_t Worker::LocalizeAsync(const std::vector<Key>& keys) {
   if (!dpa_enabled_) return kImmediate;
+  const bool traced = TraceThisOp();
+  const int64_t t_issue = traced ? NowNanos() : 0;
 
   // Unlike pull/push, localize accepts duplicates: dedupe and drop keys
   // this node already owns in a lock-free pre-pass, so repeated requests
@@ -425,7 +486,13 @@ uint64_t Worker::LocalizeAsync(const std::vector<Key>& keys) {
   for (const Key k : keys) {
     if (ctx_->StateOf(k) != KeyState::kOwned) sc.localize_keys.push_back(k);
   }
-  if (sc.localize_keys.empty()) return kImmediate;
+  if (sc.localize_keys.empty()) {
+    if (traced) {
+      RecordTrace(obs::OpKind::kLocalize, kImmediate, t_issue,
+                  /*replica_misses=*/0, /*completed=*/true);
+    }
+    return kImmediate;
+  }
   std::sort(sc.localize_keys.begin(), sc.localize_keys.end());
   sc.localize_keys.erase(
       std::unique(sc.localize_keys.begin(), sc.localize_keys.end()),
@@ -451,7 +518,8 @@ uint64_t Worker::LocalizeAsync(const std::vector<Key>& keys) {
       // Coalesce onto the pending relocation.
       NodeContext::ArrivingShard& shard = ctx_->ArrivingShardFor(k);
       std::lock_guard<std::mutex> lock(shard.mu);
-      shard.map[k].localize_waiters.emplace_back(thread_, op);
+      shard.map[k].localize_waiters.push_back(
+          {thread_, op, traced, traced ? NowNanos() : 0});
       continue;
     }
     // Start a relocation: mark arriving, then ask the home (or, under
@@ -490,12 +558,17 @@ uint64_t Worker::LocalizeAsync(const std::vector<Key>& keys) {
     m.orig_node = ctx_->node;
     m.orig_thread = thread_;
     m.op_id = op;
+    m.traced = traced;
     m.requester_node = ctx_->node;
     m.keys = sc.groups.TakeKeys(dst_node);
     endpoint_->Send(std::move(m));
   }
 
-  tracker_->CompleteKeys(op, inline_done);
+  const bool done_now = tracker_->CompleteKeys(op, inline_done);
+  if (traced) {
+    RecordTrace(obs::OpKind::kLocalize, op, t_issue, /*replica_misses=*/0,
+                done_now);
+  }
   return op;
 }
 
@@ -580,6 +653,8 @@ size_t Worker::Replicate(const std::vector<Key>& keys) {
 uint64_t Worker::SendGroupedPushes() {
   Scratch& sc = scratch_;
   if (sc.key_offsets.empty()) return kImmediate;
+  const bool traced = TraceThisOp();
+  const int64_t t_issue = traced ? NowNanos() : 0;
   // Drained folds travel as ordinary cumulative pushes, one coalesced
   // message per destination, tracked like any push: the op completes when
   // every owner acked, which is what makes WaitAll a flush barrier. A key
@@ -593,9 +668,14 @@ uint64_t Worker::SendGroupedPushes() {
     m.orig_node = ctx_->node;
     m.orig_thread = thread_;
     m.op_id = op;
+    m.traced = traced;
     m.keys = sc.groups.TakeKeys(dst_node);
     m.vals = sc.groups.TakeVals(dst_node);
     endpoint_->Send(std::move(m));
+  }
+  if (traced) {
+    RecordTrace(obs::OpKind::kFlush, op, t_issue, /*replica_misses=*/0,
+                /*completed=*/false);
   }
   return op;
 }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "net/network.h"
+#include "obs/timeline.h"
 #include "ps/dest_groups.h"
 #include "ps/node_context.h"
 #include "ps/op_tracker.h"
@@ -184,6 +185,22 @@ class Worker {
     return true;
   }
 
+  // Same discipline for the per-op timeline tracer (obs.sample_every): one
+  // null check per untraced op, nothing else on the hot path.
+  bool TraceThisOp() {
+    if (trace_ring_ == nullptr) return false;
+    if (--trace_countdown_ > 0) return false;
+    trace_countdown_ = trace_period_;
+    return true;
+  }
+
+  // Emits the worker-side events of one traced operation (kIssue, kLocal,
+  // replica-miss marks, and kComplete when the op finished inline). Out of
+  // line: runs once per obs.sample_every operations. `op` == kImmediate
+  // gets a synthetic per-thread uid (the tracker never saw the op).
+  void RecordTrace(obs::OpKind kind, uint64_t op, int64_t t_issue,
+                   int64_t replica_misses, bool completed);
+
   // Reusable per-op buffers: cleared every operation, never shrunk, so the
   // hot path performs no heap allocation in steady state. A Worker is owned
   // by one thread, so plain members suffice.
@@ -214,6 +231,11 @@ class Worker {
   uint32_t sample_period_ = 0;
   uint32_t sample_countdown_ = 0;
   Scratch scratch_;
+  // Per-op timeline tracing (null unless config.obs enables it).
+  obs::EventRing* trace_ring_ = nullptr;
+  uint32_t trace_period_ = 0;
+  uint32_t trace_countdown_ = 0;
+  uint64_t trace_inline_seq_ = 0;  // uid source for inline-completed ops
 
   // Slot of key k for fast-path access; devirtualized for dense stores.
   Val* Slot(Key k) {

@@ -30,14 +30,16 @@ Summary Summarize(std::vector<double> values) {
   s.p50 = Percentile(values, 0.50);
   s.p95 = Percentile(values, 0.95);
   s.p99 = Percentile(values, 0.99);
+  s.p999 = Percentile(values, 0.999);
   return s;
 }
 
 std::string ToString(const Summary& s) {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
-                "n=%zu min=%.3g mean=%.3g p50=%.3g p95=%.3g p99=%.3g max=%.3g",
-                s.n, s.min, s.mean, s.p50, s.p95, s.p99, s.max);
+                "n=%zu min=%.3g mean=%.3g p50=%.3g p95=%.3g p99=%.3g "
+                "p999=%.3g max=%.3g",
+                s.n, s.min, s.mean, s.p50, s.p95, s.p99, s.p999, s.max);
   return buf;
 }
 

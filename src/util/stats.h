@@ -39,10 +39,14 @@ class Counter {
 // Summary statistics over a sample of doubles (single-threaded builder).
 struct Summary {
   size_t n = 0;
-  double min = 0, max = 0, mean = 0, p50 = 0, p95 = 0, p99 = 0;
+  double min = 0, max = 0, mean = 0, p50 = 0, p95 = 0, p99 = 0, p999 = 0;
 };
 
-// Computes a Summary. `values` is copied and sorted internally.
+// Computes a Summary. `values` is copied and sorted internally, so each
+// call pays one O(n log n) sort: summarize once per sample set, not inside
+// a loop. For high-volume or concurrent measurement use obs::Histogram,
+// which is O(1) per sample and mergeable (Histogram::ToSummary bridges to
+// this type).
 Summary Summarize(std::vector<double> values);
 
 // Formats a Summary on one line for logs.

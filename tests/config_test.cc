@@ -254,6 +254,44 @@ TEST(ConfigValidationDeathTest, OverflowingUnreplicateColdWindowsDies) {
   EXPECT_DEATH(cfg.Normalize(), "unreplicate_cold_windows");
 }
 
+// ---- observability ------------------------------------------------------
+
+TEST(ConfigValidationTest, ObsEnabledWithDefaultsPasses) {
+  ps::Config cfg = ValidConfig();
+  cfg.obs.enabled = true;
+  cfg.Normalize();  // must not die
+}
+
+TEST(ConfigValidationDeathTest, ObsTinyRingCapacityDies) {
+  ps::Config cfg = ValidConfig();
+  cfg.obs.enabled = true;
+  cfg.obs.ring_capacity = 32;
+  EXPECT_DEATH(cfg.Normalize(), "ring_capacity");
+}
+
+TEST(ConfigValidationDeathTest, ObsZeroSnapshotPeriodDies) {
+  ps::Config cfg = ValidConfig();
+  cfg.obs.enabled = true;
+  cfg.obs.snapshot_micros = 0;
+  EXPECT_DEATH(cfg.Normalize(), "snapshot_micros");
+}
+
+TEST(ConfigValidationDeathTest, ObsZeroTraceBufferDies) {
+  ps::Config cfg = ValidConfig();
+  cfg.obs.enabled = true;
+  cfg.obs.max_trace_records = 0;
+  EXPECT_DEATH(cfg.Normalize(), "max_trace_records");
+}
+
+TEST(ConfigValidationDeathTest, ObsExportPathsRequireEnabledObs) {
+  // A configured export path with the layer off would silently write
+  // nothing -- reject it instead of surprising the user at shutdown.
+  ps::Config cfg = ValidConfig();
+  cfg.obs.enabled = false;
+  cfg.obs.metrics_json_path = "metrics.json";
+  EXPECT_DEATH(cfg.Normalize(), "export paths");
+}
+
 // ---- stale (bounded-staleness) PS --------------------------------------
 
 stale::SspConfig ValidSspConfig() {
