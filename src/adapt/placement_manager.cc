@@ -21,26 +21,26 @@ PlacementManager::PlacementManager(ps::NodeContext* ctx,
 
 PlacementManager::~PlacementManager() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   thread_.join();
 }
 
 void PlacementManager::Resume() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     active_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void PlacementManager::Pause() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   active_ = false;
-  cv_.notify_all();
-  cv_.wait(lock, [&] { return parked_ || stop_; });
+  cv_.NotifyAll();
+  while (!(parked_ || stop_)) cv_.Wait(mu_);
 }
 
 void PlacementManager::SetReplicationHook(
@@ -55,7 +55,7 @@ void PlacementManager::SetReplicationHook(
   std::vector<Key> replay;
   std::function<void(const std::vector<Key>&)> installed;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     hook_ = std::move(hook);
     if (!flagged_.empty()) {
       replay = flagged_;
@@ -79,7 +79,7 @@ AdaptStats PlacementManager::stats() const {
 }
 
 std::vector<Key> PlacementManager::ReplicationFlagged() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return flagged_;
 }
 
@@ -93,34 +93,37 @@ void PlacementManager::Loop() {
       /*global_id=*/cfg.total_workers() + ctx_->node,
       Mix64(cfg.seed ^ (0xada97ULL + static_cast<uint64_t>(ctx_->node))));
 
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   while (!stop_) {
     if (!active_) {
       // Drain in-flight protocol ops before declaring ourselves parked, so
       // Pause() doubles as a barrier for everything this manager issued.
-      lock.unlock();
+      lock.Unlock();
       worker_->WaitAll();
-      lock.lock();
+      lock.Lock();
       if (stop_ || active_) continue;
       parked_ = true;
-      cv_.notify_all();
-      cv_.wait(lock, [&] { return stop_ || active_; });
+      cv_.NotifyAll();
+      while (!(stop_ || active_)) cv_.Wait(mu_);
       parked_ = false;
       continue;
     }
     const auto tick = std::chrono::microseconds(cfg.adaptive.tick_micros);
-    cv_.wait_for(lock, tick, [&] { return stop_ || !active_; });
+    const auto deadline = std::chrono::steady_clock::now() + tick;
+    while (!(stop_ || !active_)) {
+      if (cv_.WaitUntil(mu_, deadline)) break;  // timed out: tick is due
+    }
     if (stop_ || !active_) continue;
-    lock.unlock();
+    lock.Unlock();
     {
       obs::Histogram* th = tick_hist_.load(std::memory_order_acquire);
       const int64_t t0 = th != nullptr ? NowNanos() : 0;
       Tick();
       if (th != nullptr) th->Add(NowNanos() - t0);
     }
-    lock.lock();
+    lock.Lock();
   }
-  lock.unlock();
+  lock.Unlock();
   worker_->WaitAll();
   worker_.reset();
 }
@@ -176,7 +179,7 @@ void PlacementManager::Tick() {
     }
     std::function<void(const std::vector<Key>&)> hook;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       flagged_.insert(flagged_.end(), decisions_scratch_.replicate.begin(),
                       decisions_scratch_.replicate.end());
       hook = hook_;

@@ -2,10 +2,8 @@
 #define LAPSE_ADAPT_PLACEMENT_MANAGER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -15,6 +13,8 @@
 #include "obs/histogram.h"
 #include "ps/node_context.h"
 #include "ps/worker.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace lapse {
 namespace adapt {
@@ -95,7 +95,7 @@ class PlacementManager {
   ps::NodeContext* ctx_;
   net::Network* network_;
   PlacementPolicy policy_;
-  std::function<void(const std::vector<Key>&)> hook_;
+  std::function<void(const std::vector<Key>&)> hook_ LAPSE_GUARDED_BY(mu_);
 
   // The manager's protocol worker; created and destroyed on the manager
   // thread (a Worker is owned by exactly one thread).
@@ -104,12 +104,13 @@ class PlacementManager {
   std::vector<AccessSample> sample_scratch_;
   Decisions decisions_scratch_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  bool active_ = false;  // guarded by mu_
-  bool parked_ = false;  // guarded by mu_: thread is idle and drained
-  bool stop_ = false;    // guarded by mu_
-  std::vector<Key> flagged_;  // guarded by mu_
+  mutable Mutex mu_;
+  CondVar cv_;
+  bool active_ LAPSE_GUARDED_BY(mu_) = false;
+  // Thread is idle and drained.
+  bool parked_ LAPSE_GUARDED_BY(mu_) = false;
+  bool stop_ LAPSE_GUARDED_BY(mu_) = false;
+  std::vector<Key> flagged_ LAPSE_GUARDED_BY(mu_);
 
   std::atomic<int64_t> n_ticks_{0};
   std::atomic<int64_t> n_samples_{0};

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <mutex>
+#include "util/sync.h"
 #include <unordered_map>
 
 #include "ml/adagrad.h"
@@ -61,7 +61,7 @@ std::vector<Val> InitialKgeValue(Key key, size_t emb_len, uint64_t seed) {
 struct EpochAccumulator {
   explicit EpochAccumulator(int epochs)
       : results(epochs), loss_sum(epochs, 0.0), loss_n(epochs, 0) {}
-  std::mutex mu;
+  Mutex mu;
   std::vector<KgeEpochResult> results;
   std::vector<double> loss_sum;
   std::vector<int64_t> loss_n;
@@ -283,13 +283,13 @@ std::vector<KgeEpochResult> TrainKge(ps::PsSystem& system,
       }
 
       {
-        std::lock_guard<std::mutex> lock(acc.mu);
+        MutexLock lock(acc.mu);
         acc.loss_sum[epoch] += loss;
         acc.loss_n[epoch] += loss_n;
       }
       w.Barrier();
       if (wid == 0) {
-        std::lock_guard<std::mutex> lock(acc.mu);
+        MutexLock lock(acc.mu);
         acc.results[epoch].seconds = epoch_timer.ElapsedSeconds();
       }
       w.Barrier();

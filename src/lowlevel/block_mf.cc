@@ -1,6 +1,6 @@
 #include "lowlevel/block_mf.h"
 
-#include <mutex>
+#include "util/sync.h"
 #include <thread>
 
 #include "mf/block_schedule.h"
@@ -26,7 +26,7 @@ std::vector<mf::EpochResult> TrainBlockMf(const mf::SparseMatrix& matrix,
   net::Network network(T, config.latency, config.seed);
   Barrier barrier(static_cast<size_t>(T));
 
-  std::mutex result_mu;
+  Mutex result_mu;
   std::vector<mf::EpochResult> results(config.epochs);
   std::vector<double> loss_sum(config.epochs, 0.0);
   std::vector<int64_t> loss_n(config.epochs, 0);
@@ -104,13 +104,13 @@ std::vector<mf::EpochResult> TrainBlockMf(const mf::SparseMatrix& matrix,
           }
         }
         {
-          std::lock_guard<std::mutex> lock(result_mu);
+          MutexLock lock(result_mu);
           loss_sum[epoch] += loss;
           loss_n[epoch] += n;
         }
         barrier.Wait();
         if (wid == 0) {
-          std::lock_guard<std::mutex> lock(result_mu);
+          MutexLock lock(result_mu);
           results[epoch].seconds = epoch_timer.ElapsedSeconds();
         }
         barrier.Wait();

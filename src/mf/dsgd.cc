@@ -3,7 +3,7 @@
 #include "stale/ssp_worker.h"
 
 #include <cmath>
-#include <mutex>
+#include "util/sync.h"
 
 #include "util/logging.h"
 #include "util/rng.h"
@@ -18,18 +18,18 @@ struct EpochAccumulator {
   explicit EpochAccumulator(int epochs)
       : results(epochs), loss_sum(epochs, 0.0), loss_n(epochs, 0) {}
 
-  std::mutex mu;
+  Mutex mu;
   std::vector<EpochResult> results;
   std::vector<double> loss_sum;
   std::vector<int64_t> loss_n;
 
   void AddLoss(int epoch, double sum, int64_t n) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     loss_sum[epoch] += sum;
     loss_n[epoch] += n;
   }
   void SetTime(int epoch, double seconds) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     results[epoch].seconds = seconds;
   }
   std::vector<EpochResult> Finalize() {

@@ -10,20 +10,20 @@ namespace net {
 void Inbox::Put(Message msg) {
   size_t depth;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push(Entry{msg.deliver_ns, next_seq_++, std::move(msg)});
     depth = queue_.size();
     approx_size_.store(depth, std::memory_order_release);
     put_count_.fetch_add(1, std::memory_order_release);
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   // Outside the lock; one relaxed load + branch when the hook is unset.
   if (obs::Histogram* h = depth_hist_.load(std::memory_order_acquire)) {
     h->Add(static_cast<int64_t>(depth));
   }
 }
 
-bool Inbox::WaitDeliverable(std::unique_lock<std::mutex>& lock) {
+bool Inbox::WaitDeliverable() {
   // OS timer wakeups are ~50us-grained, far coarser than the simulated
   // latencies (2-30us). To keep the latency model honest we sleep only for
   // the bulk of long waits and spin for the final stretch.
@@ -35,26 +35,26 @@ bool Inbox::WaitDeliverable(std::unique_lock<std::mutex>& lock) {
       // (On shutdown we drain promptly; no need to honor latency.)
       if (deliver <= now || shutdown_) return true;
       if (deliver - now > kSpinWindowNs) {
-        cv_.wait_for(lock,
-                     std::chrono::nanoseconds(deliver - now - kSpinWindowNs));
+        cv_.WaitFor(mu_,
+                    std::chrono::nanoseconds(deliver - now - kSpinWindowNs));
         continue;
       }
       // Spin without the lock so senders can still enqueue (possibly with
       // an earlier delivery time; the re-check handles that).
-      lock.unlock();
+      mu_.unlock();
       while (NowNanos() < deliver) {
 #if defined(__x86_64__) || defined(__i386__)
         __builtin_ia32_pause();
 #endif
       }
-      lock.lock();
+      mu_.lock();
       continue;
     }
     if (shutdown_) return false;
     // Idle: spin-poll briefly before sleeping. A condition-variable wakeup
     // costs ~50-200us -- more than the whole simulated relocation protocol
     // -- so a short spin keeps multi-hop protocols at realistic speed.
-    lock.unlock();
+    mu_.unlock();
     const int64_t spin_until = NowNanos() + idle_spin_ns_;
     while (approx_size_.load(std::memory_order_acquire) == 0 &&
            !shutdown_flag_.load(std::memory_order_acquire) &&
@@ -63,8 +63,8 @@ bool Inbox::WaitDeliverable(std::unique_lock<std::mutex>& lock) {
       __builtin_ia32_pause();
 #endif
     }
-    lock.lock();
-    if (queue_.empty() && !shutdown_) cv_.wait(lock);
+    mu_.lock();
+    if (queue_.empty() && !shutdown_) cv_.Wait(mu_);
   }
 }
 
@@ -76,16 +76,16 @@ void Inbox::PopLocked(Message* out) {
 }
 
 bool Inbox::Take(Message* out) {
-  std::unique_lock<std::mutex> lock(mu_);
-  if (!WaitDeliverable(lock)) return false;
+  MutexLock lock(mu_);
+  if (!WaitDeliverable()) return false;
   PopLocked(out);
   approx_size_.store(queue_.size(), std::memory_order_release);
   return true;
 }
 
 bool Inbox::TakeBatch(std::vector<Message>* out) {
-  std::unique_lock<std::mutex> lock(mu_);
-  if (!WaitDeliverable(lock)) return false;
+  MutexLock lock(mu_);
+  if (!WaitDeliverable()) return false;
   const int64_t now = NowNanos();
   do {
     out->emplace_back();
@@ -97,7 +97,7 @@ bool Inbox::TakeBatch(std::vector<Message>* out) {
 }
 
 bool Inbox::TryTake(Message* out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (queue_.empty()) return false;
   if (queue_.top().deliver_ns > NowNanos() && !shutdown_) return false;
   *out = std::move(const_cast<Entry&>(queue_.top()).msg);
@@ -108,15 +108,15 @@ bool Inbox::TryTake(Message* out) {
 
 void Inbox::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
     shutdown_flag_.store(true, std::memory_order_release);
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 size_t Inbox::ApproxSize() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return queue_.size();
 }
 

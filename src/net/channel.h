@@ -2,14 +2,14 @@
 #define LAPSE_NET_CHANNEL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <queue>
 #include <vector>
 
 #include "net/message.h"
 #include "obs/histogram.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace lapse {
 namespace net {
@@ -78,12 +78,13 @@ class Inbox {
 
   // Blocks (with the spin/sleep policy described in channel.cc) until the
   // queue head is deliverable or the inbox shut down. Returns false only on
-  // shutdown with an empty queue. Caller passes the held lock.
-  bool WaitDeliverable(std::unique_lock<std::mutex>& lock);
+  // shutdown with an empty queue. Releases and re-acquires mu_ for the
+  // spin sections; mu_ is held again when it returns.
+  bool WaitDeliverable() LAPSE_REQUIRES(mu_);
 
   // Pops the queue head into *out; caller holds the lock and guarantees
   // non-empty.
-  void PopLocked(Message* out);
+  void PopLocked(Message* out) LAPSE_REQUIRES(mu_);
   struct EntryLater {
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.deliver_ns != b.deliver_ns) return a.deliver_ns > b.deliver_ns;
@@ -92,16 +93,17 @@ class Inbox {
   };
 
   const int64_t idle_spin_ns_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_
+      LAPSE_GUARDED_BY(mu_);
   // Lock-free size mirror so an idle consumer can poll without the mutex.
   std::atomic<size_t> approx_size_{0};
   std::atomic<obs::Histogram*> depth_hist_{nullptr};
   std::atomic<int64_t> put_count_{0};
   std::atomic<bool> shutdown_flag_{false};
-  uint64_t next_seq_ = 0;
-  bool shutdown_ = false;
+  uint64_t next_seq_ LAPSE_GUARDED_BY(mu_) = 0;
+  bool shutdown_ LAPSE_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace net

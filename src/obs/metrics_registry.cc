@@ -45,24 +45,24 @@ std::string EscapeJson(const std::string& s) {
 }  // namespace
 
 void MetricsRegistry::AddCounter(std::string name, const Counter* counter) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   counters_.push_back({std::move(name), counter});
 }
 
 void MetricsRegistry::AddGauge(std::string name,
                                std::function<int64_t()> fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   gauges_.push_back({std::move(name), std::move(fn)});
 }
 
 void MetricsRegistry::AddHistogram(std::string name,
                                    const Histogram* histogram) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   histograms_.push_back({std::move(name), histogram});
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   MetricsSnapshot snap;
   snap.taken_ns = NowNanos();
   snap.counters.reserve(counters_.size());
@@ -123,7 +123,7 @@ bool MetricsRegistry::WriteJson(const std::string& path) const {
 }
 
 size_t MetricsRegistry::NumMetrics() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return counters_.size() + gauges_.size() + histograms_.size();
 }
 

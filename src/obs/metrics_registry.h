@@ -2,12 +2,13 @@
 #define LAPSE_OBS_METRICS_REGISTRY_H_
 
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/histogram.h"
 #include "util/stats.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace lapse {
 namespace obs {
@@ -75,10 +76,10 @@ class MetricsRegistry {
     const Histogram* histogram;
   };
 
-  mutable std::mutex mu_;
-  std::vector<CounterEntry> counters_;
-  std::vector<GaugeEntry> gauges_;
-  std::vector<HistogramEntry> histograms_;
+  mutable Mutex mu_;
+  std::vector<CounterEntry> counters_ LAPSE_GUARDED_BY(mu_);
+  std::vector<GaugeEntry> gauges_ LAPSE_GUARDED_BY(mu_);
+  std::vector<HistogramEntry> histograms_ LAPSE_GUARDED_BY(mu_);
 };
 
 }  // namespace obs

@@ -52,7 +52,7 @@ Observability::Observability(const ObsConfig& config, int num_nodes,
 Observability::~Observability() { Stop(); }
 
 void Observability::Start() {
-  std::lock_guard<std::mutex> lock(thread_mu_);
+  MutexLock lock(thread_mu_);
   if (thread_.joinable()) return;
   stop_ = false;
   thread_ = std::thread([this] { Loop(); });
@@ -60,11 +60,11 @@ void Observability::Start() {
 
 void Observability::Stop() {
   {
-    std::lock_guard<std::mutex> lock(thread_mu_);
+    MutexLock lock(thread_mu_);
     if (!thread_.joinable()) return;
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   thread_.join();
   Flush();
 }
@@ -72,21 +72,24 @@ void Observability::Stop() {
 void Observability::Loop() {
   const auto period = std::chrono::microseconds(
       std::max<int64_t>(1, config_.snapshot_micros));
-  std::unique_lock<std::mutex> lock(thread_mu_);
+  MutexLock lock(thread_mu_);
   while (!stop_) {
-    cv_.wait_for(lock, period, [this] { return stop_; });
-    lock.unlock();
+    const auto deadline = std::chrono::steady_clock::now() + period;
+    while (!stop_) {
+      if (cv_.WaitUntil(thread_mu_, deadline)) break;  // timed out
+    }
+    lock.Unlock();
     {
-      std::lock_guard<std::mutex> collect(collect_mu_);
+      MutexLock collect(collect_mu_);
       DrainPassLocked();
       latest_snapshot_ = registry_.Snapshot();
     }
-    lock.lock();
+    lock.Lock();
   }
 }
 
 void Observability::Flush() {
-  std::lock_guard<std::mutex> collect(collect_mu_);
+  MutexLock collect(collect_mu_);
   // Two passes: the first drains everything recorded so far, the second
   // clears the one-pass finalization grace for records completed in the
   // first.
@@ -188,12 +191,12 @@ void Observability::FinalizeLocked() {
 }
 
 std::vector<OpRecord> Observability::FinalizedRecords() const {
-  std::lock_guard<std::mutex> lock(collect_mu_);
+  MutexLock lock(collect_mu_);
   return trace_buf_;
 }
 
 MetricsSnapshot Observability::LatestSnapshot() const {
-  std::lock_guard<std::mutex> lock(collect_mu_);
+  MutexLock lock(collect_mu_);
   return latest_snapshot_;
 }
 

@@ -3,10 +3,8 @@
 
 #include <array>
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -16,6 +14,8 @@
 #include "obs/metrics_registry.h"
 #include "obs/obs_config.h"
 #include "obs/timeline.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace lapse {
 namespace obs {
@@ -120,9 +120,9 @@ class Observability {
   void Loop();
   // One drain-join-finalize pass; caller holds collect_mu_ (the rings are
   // SPSC, so consumption must be serialized across threads).
-  void DrainPassLocked();
-  void ApplyEvent(const TraceEvent& ev);
-  void FinalizeLocked();
+  void DrainPassLocked() LAPSE_REQUIRES(collect_mu_);
+  void ApplyEvent(const TraceEvent& ev) LAPSE_REQUIRES(collect_mu_);
+  void FinalizeLocked() LAPSE_REQUIRES(collect_mu_);
 
   struct Pending {
     OpRecord rec;
@@ -146,21 +146,24 @@ class Observability {
 
   // Collector state; everything below collect_mu_ is touched only while
   // holding it (collector thread, Flush, exports).
-  mutable std::mutex collect_mu_;
-  std::vector<TraceEvent> events_scratch_;
-  std::unordered_map<uint64_t, Pending> pending_;
-  std::vector<OpRecord> trace_buf_;
-  MetricsSnapshot latest_snapshot_;
-  uint64_t pass_ = 0;
-  uint64_t stale_passes_ = 0;  // GC bound for never-completing records
+  mutable Mutex collect_mu_;
+  std::vector<TraceEvent> events_scratch_ LAPSE_GUARDED_BY(collect_mu_);
+  std::unordered_map<uint64_t, Pending> pending_
+      LAPSE_GUARDED_BY(collect_mu_);
+  std::vector<OpRecord> trace_buf_ LAPSE_GUARDED_BY(collect_mu_);
+  MetricsSnapshot latest_snapshot_ LAPSE_GUARDED_BY(collect_mu_);
+  uint64_t pass_ LAPSE_GUARDED_BY(collect_mu_) = 0;
+  // GC bound for never-completing records (written once in the
+  // constructor, before any concurrency).
+  uint64_t stale_passes_ = 0;
 
   std::atomic<int64_t> finalized_ops_{0};
   std::atomic<int64_t> orphaned_ops_{0};
   std::atomic<int64_t> trace_dropped_{0};
 
-  std::mutex thread_mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;  // guarded by thread_mu_
+  Mutex thread_mu_;
+  CondVar cv_;
+  bool stop_ LAPSE_GUARDED_BY(thread_mu_) = false;
   std::thread thread_;
 };
 

@@ -6,18 +6,20 @@
 #include <memory>
 
 #include "net/message.h"
+#include "util/thread_annotations.h"
 
 namespace lapse {
 namespace ps {
 
-// Tiny test-and-set spinlock (BasicLockable, usable with std::lock_guard).
-// Latches guard sub-microsecond critical sections (a state check plus a
-// short value copy), where a spinlock's uncontended lock/unlock is several
-// times cheaper than std::mutex. The spin loop yields periodically so an
+// Tiny test-and-set spinlock (BasicLockable; lock with LatchGuard below so
+// the thread-safety analysis sees the acquisition). Latches guard
+// sub-microsecond critical sections (a state check plus a short value
+// copy), where a spinlock's uncontended lock/unlock is several times
+// cheaper than std::mutex. The spin loop yields periodically so an
 // oversubscribed machine cannot live-lock against a preempted holder.
-class Latch {
+class LAPSE_CAPABILITY("latch") Latch {
  public:
-  void lock() noexcept {
+  void lock() noexcept LAPSE_ACQUIRE() {
     for (;;) {
       // Test-and-test-and-set: contend with plain loads (shared cache
       // line) and only attempt the RFO exchange when the latch looks free,
@@ -35,13 +37,35 @@ class Latch {
       }
     }
   }
-  void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+  void unlock() noexcept LAPSE_RELEASE() {
+    locked_.store(false, std::memory_order_release);
+  }
 
  private:
   static constexpr int kSpinsBeforeYield = 256;
   static void Yield() noexcept;  // sched yield; out of line
 
   std::atomic<bool> locked_{false};
+};
+
+// RAII guard for a Latch (the annotated std::lock_guard<Latch>). Callers
+// that guard per-key state bind the latch to a local reference first --
+//   Latch& latch = latches.ForKey(k);
+//   LatchGuard guard(latch);
+// -- so functions annotated LAPSE_REQUIRES(latch) can be checked against
+// the exact capability expression the caller holds.
+class LAPSE_SCOPED_CAPABILITY LatchGuard {
+ public:
+  explicit LatchGuard(Latch& latch) LAPSE_ACQUIRE(latch) : latch_(latch) {
+    latch_.lock();
+  }
+  ~LatchGuard() LAPSE_RELEASE() { latch_.unlock(); }
+
+  LatchGuard(const LatchGuard&) = delete;
+  LatchGuard& operator=(const LatchGuard&) = delete;
+
+ private:
+  Latch& latch_;
 };
 
 // Fixed pool of latches with a one-to-many mapping from parameters to

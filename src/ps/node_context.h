@@ -4,7 +4,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <variant>
 #include <vector>
@@ -21,6 +20,8 @@
 #include "ps/replica_manager.h"
 #include "ps/storage.h"
 #include "util/stats.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace lapse {
 namespace ps {
@@ -155,8 +156,8 @@ struct NodeContext {
   // mutex.
   static constexpr size_t kArrivingShards = 16;
   struct ArrivingShard {
-    std::mutex mu;
-    std::unordered_map<Key, ArrivingKey> map;
+    Mutex mu;
+    std::unordered_map<Key, ArrivingKey> map LAPSE_GUARDED_BY(mu);
   };
   ArrivingShard arriving_shards[kArrivingShards];
   ArrivingShard& ArrivingShardFor(Key k) {
@@ -186,7 +187,7 @@ struct NodeContext {
   // key's latch (which is what keeps the kArriving state stable).
   void QueueDeferred(Key k, Deferred item) {
     ArrivingShard& shard = ArrivingShardFor(k);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     shard.map[k].queue.push_back(std::move(item));
   }
 };

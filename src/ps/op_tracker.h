@@ -3,9 +3,7 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -13,6 +11,8 @@
 
 #include "net/message.h"
 #include "util/logging.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace lapse {
 namespace ps {
@@ -55,7 +55,7 @@ class OpTracker {
   uint64_t Create(Val* pull_dst,
                   const std::vector<std::pair<Key, size_t>>& key_offsets,
                   int64_t issue_ns) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const uint64_t id = next_id_++;
     OpState* op;
     if (!spare_ops_.empty()) {
@@ -81,7 +81,7 @@ class OpTracker {
   // if the op has no pull buffer. Used to serve a key and complete it in two
   // steps without holding the tracker lock during the copy.
   Val* PullDst(uint64_t id, Key k) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = ops_.find(id);
     if (it == ops_.end() || it->second.pull_dst == nullptr) return nullptr;
     const auto& ko = it->second.key_offsets;
@@ -99,15 +99,15 @@ class OpTracker {
   // completion event at the site that actually finished it).
   bool CompleteKeys(uint64_t id, size_t n) {
     if (id == kImmediate || n == 0) return false;
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = ops_.find(id);
     LAPSE_CHECK(it != ops_.end()) << "completion for unknown op " << id;
     const size_t before =
         it->second.remaining.fetch_sub(n, std::memory_order_acq_rel);
     LAPSE_CHECK_GE(before, n);
     if (before == n) {
-      lock.unlock();
-      cv_.notify_all();
+      lock.Unlock();
+      cv_.NotifyAll();
       return true;
     }
     return false;
@@ -115,7 +115,7 @@ class OpTracker {
 
   // Issue timestamp of op `id` (0 if unknown/retired).
   int64_t IssueNs(uint64_t id) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = ops_.find(id);
     return it == ops_.end() ? 0 : it->second.issue_ns;
   }
@@ -131,7 +131,7 @@ class OpTracker {
     // erases entries).
     std::atomic<size_t>* remaining = nullptr;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       auto it = ops_.find(id);
       if (it == ops_.end()) return;
       if (it->second.remaining.load(std::memory_order_acquire) == 0) {
@@ -143,10 +143,10 @@ class OpTracker {
     const int64_t spin_until = NowNanosForSpin() + 400'000;
     while (remaining->load(std::memory_order_acquire) > 0) {
       if (NowNanosForSpin() >= spin_until) {
-        std::unique_lock<std::mutex> lock(mu_);
-        cv_.wait(lock, [&] {
-          return remaining->load(std::memory_order_acquire) == 0;
-        });
+        MutexLock lock(mu_);
+        while (remaining->load(std::memory_order_acquire) != 0) {
+          cv_.Wait(mu_);
+        }
         break;
       }
       for (int p = 0; p < 32; ++p) {
@@ -155,34 +155,29 @@ class OpTracker {
 #endif
       }
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = ops_.find(id);
     if (it != ops_.end()) Retire(it);
   }
 
   // Blocks until every outstanding op completed; retires them all.
   void WaitAll() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] {
-      for (auto& [id, op] : ops_) {
-        if (op.remaining.load(std::memory_order_acquire) > 0) return false;
-      }
-      return true;
-    });
+    MutexLock lock(mu_);
+    while (!AllCompleteLocked()) cv_.Wait(mu_);
     ops_.clear();
   }
 
   // True if op `id` has fully completed (or was retired).
   bool IsDone(uint64_t id) {
     if (id == kImmediate) return true;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = ops_.find(id);
     return it == ops_.end() ||
            it->second.remaining.load(std::memory_order_acquire) == 0;
   }
 
   size_t NumPending() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     size_t n = 0;
     for (auto& [id, op] : ops_) {
       if (op.remaining.load(std::memory_order_acquire) > 0) ++n;
@@ -193,9 +188,9 @@ class OpTracker {
  private:
   using OpMap = std::unordered_map<uint64_t, OpState>;
 
-  // Moves a finished op's map node to the spare list (caller holds mu_), so
-  // the node allocation and its key_offsets capacity get reused by Create.
-  void Retire(OpMap::iterator it) {
+  // Moves a finished op's map node to the spare list, so the node
+  // allocation and its key_offsets capacity get reused by Create.
+  void Retire(OpMap::iterator it) LAPSE_REQUIRES(mu_) {
     if (spare_ops_.size() < kMaxSpareOps) {
       spare_ops_.push_back(ops_.extract(it));
     } else {
@@ -203,12 +198,19 @@ class OpTracker {
     }
   }
 
+  bool AllCompleteLocked() const LAPSE_REQUIRES(mu_) {
+    for (const auto& [id, op] : ops_) {
+      if (op.remaining.load(std::memory_order_acquire) > 0) return false;
+    }
+    return true;
+  }
+
   static constexpr size_t kMaxSpareOps = 64;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  OpMap ops_;
-  std::vector<OpMap::node_type> spare_ops_;
-  uint64_t next_id_ = 1;
+  Mutex mu_;
+  CondVar cv_;
+  OpMap ops_ LAPSE_GUARDED_BY(mu_);
+  std::vector<OpMap::node_type> spare_ops_ LAPSE_GUARDED_BY(mu_);
+  uint64_t next_id_ LAPSE_GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace ps

@@ -1,7 +1,6 @@
 #include "ps/replica_manager.h"
 
 #include <cstring>
-#include <mutex>
 
 #include "util/timer.h"
 
@@ -28,7 +27,7 @@ ReplicaManager::ReplicaManager(const KeyLayout* layout,
 }
 
 void ReplicaManager::Pin(Key k) {
-  std::lock_guard<Latch> latch(latches_.ForKey(k));
+  LatchGuard latch(latches_.ForKey(k));
   if (IsPinned(k)) return;
   // The buffers exist before the pin flag is published, so a reader that
   // sees the flag always finds them (the copy starts absent either way).
@@ -44,18 +43,12 @@ void ReplicaManager::Pin(Key k) {
 }
 
 bool ReplicaManager::Unpin(Key k, Val* pending) {
-  std::lock_guard<Latch> latch(latches_.ForKey(k));
+  Latch& latch = latches_.ForKey(k);
+  LatchGuard guard(latch);
   if (!IsPinned(k)) return false;
-  bool had_folds = false;
-  if (aggregate_ && fold_counts_[k] > 0) {
-    had_folds = true;
-    if (pending != nullptr) {
-      std::memcpy(pending, acc_[k].get(),
-                  layout_->Length(k) * sizeof(Val));
-    }
-    fold_counts_[k] = 0;  // the dirty-list entry becomes a skipped no-op
-    NoteKeyDrained();
-  }
+  // Hand back pending folds and drop the pin under this one latch hold:
+  // a FoldWrite cannot slip between the hand-back and the unpin.
+  const bool had_folds = aggregate_ && TakeFoldsLocked(k, latch, pending);
   pinned_[k].store(0, std::memory_order_release);
   install_ns_[k].store(kAbsent, std::memory_order_release);
   values_[k].reset();
@@ -73,7 +66,7 @@ bool ReplicaManager::TryRead(Key k, Val* dst) {
     n_stale_misses_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
-  std::lock_guard<Latch> latch(latches_.ForKey(k));
+  LatchGuard latch(latches_.ForKey(k));
   // Re-validate under the latch: an invalidation (or unpin) may have won
   // the race since the lock-free check.
   const int64_t tag2 = install_ns_[k].load(std::memory_order_acquire);
@@ -90,7 +83,7 @@ bool ReplicaManager::TryRead(Key k, Val* dst) {
 }
 
 void ReplicaManager::Install(Key k, const Val* data) {
-  std::lock_guard<Latch> latch(latches_.ForKey(k));
+  LatchGuard latch(latches_.ForKey(k));
   if (!IsPinned(k)) return;
   const size_t len = layout_->Length(k);
   std::memcpy(values_[k].get(), data, len * sizeof(Val));
@@ -106,7 +99,7 @@ void ReplicaManager::Install(Key k, const Val* data) {
 }
 
 void ReplicaManager::Accumulate(Key k, const Val* update) {
-  std::lock_guard<Latch> latch(latches_.ForKey(k));
+  LatchGuard latch(latches_.ForKey(k));
   if (install_ns_[k].load(std::memory_order_acquire) == kAbsent) return;
   Val* slot = values_[k].get();
   const size_t len = layout_->Length(k);
@@ -117,7 +110,7 @@ ReplicaManager::FoldOutcome ReplicaManager::FoldWrite(Key k,
                                                       const Val* update) {
   if (!aggregate_ || !IsPinned(k)) return FoldOutcome::kNotAggregated;
   const int64_t now = NowNanos();
-  std::lock_guard<Latch> latch(latches_.ForKey(k));
+  LatchGuard latch(latches_.ForKey(k));
   if (!IsPinned(k)) return FoldOutcome::kNotAggregated;  // raced an unpin
   const size_t len = layout_->Length(k);
   Val* acc = acc_[k].get();
@@ -130,7 +123,7 @@ ReplicaManager::FoldOutcome ReplicaManager::FoldWrite(Key k,
   }
   n_folds_.fetch_add(1, std::memory_order_relaxed);
   if (++fold_counts_[k] == 1) {
-    std::lock_guard<std::mutex> lock(dirty_mu_);
+    MutexLock lock(dirty_mu_);
     dirty_.push_back(k);
     ++n_dirty_;
     if (oldest_fold_ns_.load(std::memory_order_relaxed) == kAbsent) {
@@ -149,19 +142,26 @@ ReplicaManager::FoldOutcome ReplicaManager::FoldWrite(Key k,
 
 bool ReplicaManager::DrainKey(Key k, Val* out) {
   if (!aggregate_) return false;
-  std::lock_guard<Latch> latch(latches_.ForKey(k));
-  if (fold_counts_[k] == 0) return false;
-  const size_t len = layout_->Length(k);
-  std::memcpy(out, acc_[k].get(), len * sizeof(Val));
-  std::memset(acc_[k].get(), 0, len * sizeof(Val));
-  fold_counts_[k] = 0;  // the dirty-list entry becomes a skipped no-op
-  NoteKeyDrained();
+  Latch& latch = latches_.ForKey(k);
+  LatchGuard guard(latch);
+  if (!TakeFoldsLocked(k, latch, out)) return false;
   n_flushed_keys_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
-void ReplicaManager::NoteKeyDrained() {
-  std::lock_guard<std::mutex> lock(dirty_mu_);
+bool ReplicaManager::TakeFoldsLocked(Key k, Latch& latch, Val* out) {
+  if (fold_counts_[k] == 0) return false;
+  const size_t len = layout_->Length(k);
+  if (out != nullptr) std::memcpy(out, acc_[k].get(), len * sizeof(Val));
+  std::memset(acc_[k].get(), 0, len * sizeof(Val));
+  fold_counts_[k] = 0;  // the dirty-list entry becomes a skipped no-op
+  NoteKeyDrained(latch);
+  return true;
+}
+
+void ReplicaManager::NoteKeyDrained(Latch& key_latch) {
+  (void)key_latch;  // capability-only parameter: names the held latch
+  MutexLock lock(dirty_mu_);
   if (--n_dirty_ == 0) {
     // The set went clean: re-arm the age clock, or the stale timestamp
     // would make the next fold anywhere spuriously report a flush as due.
@@ -170,12 +170,12 @@ void ReplicaManager::NoteKeyDrained() {
 }
 
 uint32_t ReplicaManager::PendingFolds(Key k) {
-  std::lock_guard<Latch> latch(latches_.ForKey(k));
+  LatchGuard latch(latches_.ForKey(k));
   return fold_counts_[k];
 }
 
 void ReplicaManager::Invalidate(Key k) {
-  std::lock_guard<Latch> latch(latches_.ForKey(k));
+  LatchGuard latch(latches_.ForKey(k));
   if (install_ns_[k].exchange(kAbsent, std::memory_order_acq_rel) !=
       kAbsent) {
     n_invalidations_.fetch_add(1, std::memory_order_relaxed);

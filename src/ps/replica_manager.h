@@ -5,13 +5,14 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "net/message.h"
 #include "obs/histogram.h"
 #include "ps/key_layout.h"
 #include "ps/latch_table.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace lapse {
 namespace ps {
@@ -103,7 +104,9 @@ class ReplicaManager {
   // only). Registration at the home is not undone by this call -- senders
   // follow up with kReplicaUnregister (Worker::Unreplicate); a later
   // invalidation for an unpinned key is a no-op either way.
-  bool Unpin(Key k, Val* pending = nullptr);
+  // The hand-back happens under one hold of the key's latch (enforced via
+  // TakeFoldsLocked), closing the fold-in-the-gap race.
+  bool Unpin(Key k, Val* pending = nullptr) LAPSE_EXCLUDES(dirty_mu_);
 
   // Serves a read from the local copy iff key k is pinned and the copy was
   // installed within the staleness bound. Copies into dst and returns true
@@ -129,7 +132,8 @@ class ReplicaManager {
   // pinned here, or aggregation off); kFoldedFlushDue additionally asks
   // the caller to drain (Worker::FlushReplicas) because the key hit
   // flush_max_folds or the node's oldest fold aged past flush_micros.
-  FoldOutcome FoldWrite(Key k, const Val* update);
+  FoldOutcome FoldWrite(Key k, const Val* update)
+      LAPSE_EXCLUDES(dirty_mu_);
 
   // Drains every key with pending folds: invokes sink(key, acc) with the
   // accumulated update (layout Length(key) values, borrowed only for the
@@ -137,16 +141,17 @@ class ReplicaManager {
   // of keys drained. Callable from any thread; concurrent drains split
   // the dirty set, they never double-deliver a fold.
   template <typename Sink>
-  size_t DrainDirty(Sink&& sink) {
+  size_t DrainDirty(Sink&& sink) LAPSE_EXCLUDES(dirty_mu_) {
     std::vector<Key> dirty;
     {
-      std::lock_guard<std::mutex> lock(dirty_mu_);
+      MutexLock lock(dirty_mu_);
       dirty.swap(dirty_);
       oldest_fold_ns_.store(kAbsent, std::memory_order_release);
     }
     size_t drained = 0;
     for (const Key k : dirty) {
-      std::lock_guard<Latch> latch(latches_.ForKey(k));
+      Latch& latch = latches_.ForKey(k);
+      LatchGuard guard(latch);
       // A racing DrainKey/Unpin may have emptied the slot already.
       if (fold_counts_[k] == 0) continue;
       sink(k, static_cast<const Val*>(acc_[k].get()));
@@ -155,7 +160,7 @@ class ReplicaManager {
       ++drained;
     }
     if (drained > 0) {
-      std::lock_guard<std::mutex> lock(dirty_mu_);
+      MutexLock lock(dirty_mu_);
       n_dirty_ -= drained;
       // This deferred decrement can be what actually empties the set (a
       // concurrent DrainKey saw our not-yet-subtracted count and skipped
@@ -172,7 +177,7 @@ class ReplicaManager {
   // Drains key k's accumulator into `out` (layout Length(k) values).
   // Returns false if it held no folds. Used by the server to forward
   // pending folds before honoring an invalidation.
-  bool DrainKey(Key k, Val* out);
+  bool DrainKey(Key k, Val* out) LAPSE_EXCLUDES(dirty_mu_);
 
   // Pending (unflushed) fold count of key k. Test observability.
   uint32_t PendingFolds(Key k);
@@ -199,10 +204,21 @@ class ReplicaManager {
  private:
   static constexpr int64_t kAbsent = -1;
 
-  // Bookkeeping after a single-key drain zeroed an accumulator (caller
-  // holds the key's latch): decrements the dirty count and re-arms the
+  // Copies key k's pending folds into `out` (null discards them) and
+  // zeroes the accumulator, handing delivery to the caller. The key's
+  // latch serializes this against concurrent FoldWrite/Install/Unpin --
+  // `latch` must be latches_.ForKey(k), and the thread-safety analysis
+  // verifies every caller actually holds it ("drain and fold serialize
+  // under the key latch", compiler-checked). Returns false if the
+  // accumulator held no folds.
+  bool TakeFoldsLocked(Key k, Latch& latch, Val* out)
+      LAPSE_REQUIRES(latch) LAPSE_EXCLUDES(dirty_mu_);
+
+  // Bookkeeping after a single-key drain zeroed an accumulator (under the
+  // key's latch, enforced): decrements the dirty count and re-arms the
   // age clock when the set went clean.
-  void NoteKeyDrained();
+  void NoteKeyDrained(Latch& key_latch)
+      LAPSE_REQUIRES(key_latch) LAPSE_EXCLUDES(dirty_mu_);
 
   const KeyLayout* layout_;
   const int64_t staleness_ns_;
@@ -212,9 +228,9 @@ class ReplicaManager {
   // Per-key value buffer, allocated by Pin and released by Unpin (both
   // under the key's latch); null for unpinned keys. acc_ mirrors it for
   // the write accumulator when aggregation is on.
-  std::vector<std::unique_ptr<Val[]>> values_;
-  std::vector<std::unique_ptr<Val[]>> acc_;
-  std::vector<uint32_t> fold_counts_;  // guarded by the key's latch
+  std::vector<std::unique_ptr<Val[]>> values_ LAPSE_GUARDED_BY_KEY_LATCH;
+  std::vector<std::unique_ptr<Val[]>> acc_ LAPSE_GUARDED_BY_KEY_LATCH;
+  std::vector<uint32_t> fold_counts_ LAPSE_GUARDED_BY_KEY_LATCH;
   std::vector<std::atomic<int64_t>> install_ns_;  // kAbsent = no copy
   std::vector<std::atomic<uint8_t>> pinned_;
   LatchTable latches_;
@@ -233,9 +249,9 @@ class ReplicaManager {
   // timestamps and a scan), so the next age check may fire one flush
   // early. Early flushes are contract-safe and self-correcting -- the
   // DrainDirty they trigger resets the clock exactly.
-  std::mutex dirty_mu_;
-  std::vector<Key> dirty_;
-  size_t n_dirty_ = 0;  // guarded by dirty_mu_
+  Mutex dirty_mu_;
+  std::vector<Key> dirty_ LAPSE_GUARDED_BY(dirty_mu_);
+  size_t n_dirty_ LAPSE_GUARDED_BY(dirty_mu_) = 0;
   std::atomic<int64_t> oldest_fold_ns_{kAbsent};
 
   std::atomic<int64_t> n_pinned_{0};

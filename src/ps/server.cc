@@ -172,7 +172,7 @@ void Server::HandleOp(Message& msg) {
     const Val* push_vals = is_pull ? nullptr : vals + val_off;
     val_off += len;
 
-    std::lock_guard<Latch> latch(ctx_->latches->ForKey(k));
+    LatchGuard latch(ctx_->latches->ForKey(k));
     const KeyState state = ctx_->StateOf(k);
     if (state == KeyState::kOwned) {
       ServeOwnedKey(msg, i, k, push_vals, &reply_keys, &reply_vals);
@@ -245,7 +245,7 @@ void Server::HandleLocalize(Message& msg) {
     std::vector<Key> tkeys = BufferPool::GetKeys();
     std::vector<Val> tvals = BufferPool::GetVals();
     for (const Key k : msg.keys) {
-      std::lock_guard<Latch> latch(ctx_->latches->ForKey(k));
+      LatchGuard latch(ctx_->latches->ForKey(k));
       const KeyState state = ctx_->StateOf(k);
       if (state == KeyState::kOwned) {
         ctx_->owners->SetOwner(k, requester);
@@ -308,11 +308,11 @@ void Server::HandleLocalize(Message& msg) {
       // instructed against a key we do not hold yet (fatal). With the
       // mark, that instruct queues on the arrival queue and chains off
       // DrainArrived like any mid-relocation hand-over.
-      std::lock_guard<Latch> latch(ctx_->latches->ForKey(k));
+      LatchGuard latch(ctx_->latches->ForKey(k));
       if (ctx_->StateOf(k) == KeyState::kNotOwned) {
         ctx_->SetState(k, KeyState::kArriving);
         NodeContext::ArrivingShard& shard = ctx_->ArrivingShardFor(k);
-        std::lock_guard<std::mutex> lock(shard.mu);
+        MutexLock lock(shard.mu);
         shard.map.try_emplace(k);
       }
     }
@@ -359,7 +359,7 @@ void Server::HandleInstruct(Message& msg) {
   std::vector<Key> tkeys = BufferPool::GetKeys();
   std::vector<Val> tvals = BufferPool::GetVals();
   for (const Key k : msg.keys) {
-    std::lock_guard<Latch> latch(ctx_->latches->ForKey(k));
+    LatchGuard latch(ctx_->latches->ForKey(k));
     const KeyState state = ctx_->StateOf(k);
     if (state == KeyState::kOwned) {
       ExtractKey(k, &tkeys, &tvals);
@@ -408,7 +408,7 @@ void Server::HandleTransfer(Message& msg) {
     // must apply before any new fast-path access to the key (per-worker
     // read-your-writes through a relocation). Workers colliding on the
     // latch spin-with-yield for the (typically short) queue.
-    std::lock_guard<Latch> latch(ctx_->latches->ForKey(k));
+    LatchGuard latch(ctx_->latches->ForKey(k));
     ctx_->store->Put(k, msg.vals.data() + val_off);
     val_off += len;
     ctx_->SetState(k, KeyState::kOwned);
@@ -441,7 +441,7 @@ void Server::DrainArrived(Key k) {
   ArrivingKey entry;
   {
     NodeContext::ArrivingShard& shard = ctx_->ArrivingShardFor(k);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto it = shard.map.find(k);
     if (it == shard.map.end()) return;
     entry = std::move(it->second);

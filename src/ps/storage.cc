@@ -62,14 +62,14 @@ void SparseStorage::FreeSlot(Shard& shard, size_t len, Val* slot) {
 
 Val* SparseStorage::Get(Key k) {
   Shard& shard = ShardFor(k);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.map.find(k);
   return it == shard.map.end() ? nullptr : it->second;
 }
 
 Val* SparseStorage::GetOrCreate(Key k) {
   Shard& shard = ShardFor(k);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto [it, inserted] = shard.map.try_emplace(k, nullptr);
   if (inserted) {
     const size_t len = layout_->Length(k);
@@ -81,7 +81,7 @@ Val* SparseStorage::GetOrCreate(Key k) {
 
 void SparseStorage::Put(Key k, const Val* data) {
   Shard& shard = ShardFor(k);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto [it, inserted] = shard.map.try_emplace(k, nullptr);
   if (inserted) it->second = AllocSlot(shard, layout_->Length(k));
   std::memcpy(it->second, data, layout_->Length(k) * sizeof(Val));
@@ -89,7 +89,7 @@ void SparseStorage::Put(Key k, const Val* data) {
 
 void SparseStorage::Erase(Key k) {
   Shard& shard = ShardFor(k);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.map.find(k);
   if (it == shard.map.end()) return;
   FreeSlot(shard, layout_->Length(k), it->second);
@@ -99,7 +99,7 @@ void SparseStorage::Erase(Key k) {
 size_t SparseStorage::MemoryBytes() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     for (const LenClass& c : shard.classes) {
       total += c.chunks.size() * c.slot_len * kSlotsPerChunk * sizeof(Val) +
                c.free_list.capacity() * sizeof(Val*);

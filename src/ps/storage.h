@@ -2,13 +2,14 @@
 #define LAPSE_PS_STORAGE_H_
 
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "net/message.h"
 #include "ps/config.h"
 #include "ps/key_layout.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace lapse {
 namespace ps {
@@ -99,20 +100,21 @@ class SparseStorage : public Storage {
   };
 
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<Key, Val*> map;
+    mutable Mutex mu;
+    std::unordered_map<Key, Val*> map LAPSE_GUARDED_BY(mu);
     // Distinct lengths are few (e.g. RESCAL: d and d^2); linear scan.
-    std::vector<LenClass> classes;
+    std::vector<LenClass> classes LAPSE_GUARDED_BY(mu);
   };
 
   Shard& ShardFor(Key k) { return shards_[k % kNumShards]; }
 
   // Pops (or carves) a slot of `len` Vals; caller holds the shard mutex.
   // The slot may contain stale data -- callers zero or overwrite it.
-  Val* AllocSlot(Shard& shard, size_t len);
+  Val* AllocSlot(Shard& shard, size_t len) LAPSE_REQUIRES(shard.mu);
 
   // Returns key k's slot to its length class; caller holds the shard mutex.
-  void FreeSlot(Shard& shard, size_t len, Val* slot);
+  void FreeSlot(Shard& shard, size_t len, Val* slot)
+      LAPSE_REQUIRES(shard.mu);
 
   const KeyLayout* layout_;
   std::vector<Shard> shards_;

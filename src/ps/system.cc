@@ -241,7 +241,7 @@ void PsSystem::Run(const std::function<void(Worker&)>& fn) {
 void PsSystem::SetValue(Key k, const Val* data) {
   const NodeId owner = OwnerOf(k);
   NodeContext& ctx = *nodes_[owner];
-  std::lock_guard<Latch> latch(ctx.latches->ForKey(k));
+  LatchGuard latch(ctx.latches->ForKey(k));
   LAPSE_CHECK(ctx.StateOf(k) == KeyState::kOwned);
   ctx.store->Put(k, data);
 }
@@ -249,7 +249,7 @@ void PsSystem::SetValue(Key k, const Val* data) {
 void PsSystem::GetValue(Key k, Val* dst) {
   const NodeId owner = OwnerOf(k);
   NodeContext& ctx = *nodes_[owner];
-  std::lock_guard<Latch> latch(ctx.latches->ForKey(k));
+  LatchGuard latch(ctx.latches->ForKey(k));
   LAPSE_CHECK(ctx.StateOf(k) == KeyState::kOwned);
   std::memcpy(dst, ctx.store->GetOrCreate(k),
               layout_.Length(k) * sizeof(Val));

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cstring>
-#include <mutex>
 
 #include "util/logging.h"
 #include "util/timer.h"
@@ -200,7 +199,7 @@ uint64_t Worker::PullAsync(const std::vector<Key>& keys, Val* dst) {
     const size_t off = sc.key_offsets[i].second;
     bool handled = false;
     if (fast_local_) {
-      std::lock_guard<Latch> latch(ctx_->latches->ForKey(k));
+      LatchGuard latch(ctx_->latches->ForKey(k));
       const KeyState state = ctx_->StateOf(k);
       if (state == KeyState::kOwned) {
         std::memcpy(dst + off, Slot(k),
@@ -371,7 +370,7 @@ uint64_t Worker::PushAsync(const std::vector<Key>& keys,
     const size_t len = layout.Length(k);
     bool handled = false;
     if (fast_local_) {
-      std::lock_guard<Latch> latch(ctx_->latches->ForKey(k));
+      LatchGuard latch(ctx_->latches->ForKey(k));
       const KeyState state = ctx_->StateOf(k);
       if (state == KeyState::kOwned) {
         AddTo(Slot(k), updates + off, len);
@@ -508,7 +507,7 @@ uint64_t Worker::LocalizeAsync(const std::vector<Key>& keys) {
       ctx_->config->strategy == LocationStrategy::kBroadcastRelocations;
 
   for (const Key k : sc.localize_keys) {
-    std::lock_guard<Latch> latch(ctx_->latches->ForKey(k));
+    LatchGuard latch(ctx_->latches->ForKey(k));
     const KeyState state = ctx_->StateOf(k);
     if (state == KeyState::kOwned) {
       ++inline_done;
@@ -517,7 +516,7 @@ uint64_t Worker::LocalizeAsync(const std::vector<Key>& keys) {
     if (state == KeyState::kArriving) {
       // Coalesce onto the pending relocation.
       NodeContext::ArrivingShard& shard = ctx_->ArrivingShardFor(k);
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(shard.mu);
       shard.map[k].localize_waiters.push_back(
           {thread_, op, traced, traced ? NowNanos() : 0});
       continue;
@@ -527,7 +526,7 @@ uint64_t Worker::LocalizeAsync(const std::vector<Key>& keys) {
     ctx_->SetState(k, KeyState::kArriving);
     {
       NodeContext::ArrivingShard& shard = ctx_->ArrivingShardFor(k);
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(shard.mu);
       shard.map.try_emplace(k);
     }
     const NodeId dst =
@@ -602,7 +601,7 @@ size_t Worker::Evict(const std::vector<Key>& keys) {
   for (const Key k : sc.localize_keys) {
     const NodeId home = ctx_->layout->Home(k);
     if (home == ctx_->node) continue;  // already where it belongs
-    std::lock_guard<Latch> latch(ctx_->latches->ForKey(k));
+    LatchGuard latch(ctx_->latches->ForKey(k));
     if (ctx_->StateOf(k) != KeyState::kOwned) continue;
     sc.groups.AddKey(home, k);
     ++issued;
@@ -762,7 +761,7 @@ bool Worker::PullIfLocal(Key k, Val* dst) {
         {k, adapt::SampleFlags(/*is_write=*/false, owned_hint)});
   }
   if (owned_hint) {
-    std::lock_guard<Latch> latch(ctx_->latches->ForKey(k));
+    LatchGuard latch(ctx_->latches->ForKey(k));
     if (ctx_->StateOf(k) == KeyState::kOwned) {
       std::memcpy(dst, Slot(k), ctx_->layout->Length(k) * sizeof(Val));
       ctx_->stats.local_key_reads.Add(1);

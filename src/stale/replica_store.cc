@@ -1,7 +1,6 @@
 #include "stale/replica_store.h"
 
 #include <cstring>
-#include <mutex>
 
 namespace lapse {
 namespace stale {
@@ -15,20 +14,20 @@ ReplicaStore::ReplicaStore(const ps::KeyLayout* layout, size_t num_latches)
 }
 
 void ReplicaStore::Read(Key k, Val* dst) {
-  std::lock_guard<ps::Latch> latch(latches_.ForKey(k));
+  ps::LatchGuard latch(latches_.ForKey(k));
   std::memcpy(dst, values_.data() + layout_->Offset(k),
               layout_->Length(k) * sizeof(Val));
 }
 
 void ReplicaStore::Install(Key k, const Val* data, int32_t tag) {
-  std::lock_guard<ps::Latch> latch(latches_.ForKey(k));
+  ps::LatchGuard latch(latches_.ForKey(k));
   std::memcpy(values_.data() + layout_->Offset(k), data,
               layout_->Length(k) * sizeof(Val));
   tags_[k].store(tag, std::memory_order_release);
 }
 
 void ReplicaStore::Accumulate(Key k, const Val* update) {
-  std::lock_guard<ps::Latch> latch(latches_.ForKey(k));
+  ps::LatchGuard latch(latches_.ForKey(k));
   if (Tag(k) == kAbsent) return;
   Val* slot = values_.data() + layout_->Offset(k);
   const size_t len = layout_->Length(k);

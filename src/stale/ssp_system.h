@@ -4,7 +4,6 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -13,6 +12,8 @@
 #include "ps/op_tracker.h"
 #include "stale/replica_store.h"
 #include "util/barrier.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace lapse {
 namespace stale {
@@ -63,15 +64,15 @@ struct SspNode {
   ReplicaStore replicas;
 
   // Write-back buffer of local updates awaiting the next flush.
-  std::mutex acc_mu;
-  std::vector<Val> acc;
-  std::vector<uint8_t> acc_dirty;
-  std::vector<Key> dirty_keys;
+  Mutex acc_mu;
+  std::vector<Val> acc LAPSE_GUARDED_BY(acc_mu);
+  std::vector<uint8_t> acc_dirty LAPSE_GUARDED_BY(acc_mu);
+  std::vector<Key> dirty_keys LAPSE_GUARDED_BY(acc_mu);
 
   // Clocks of this node's workers; the node clock is their minimum.
-  std::mutex clock_mu;
-  std::vector<int32_t> worker_clocks;
-  int32_t node_clock = 0;
+  Mutex clock_mu;
+  std::vector<int32_t> worker_clocks LAPSE_GUARDED_BY(clock_mu);
+  int32_t node_clock LAPSE_GUARDED_BY(clock_mu) = 0;
 
   // Server-side view of all node clocks (global clock = minimum).
   std::vector<int32_t> node_clocks;

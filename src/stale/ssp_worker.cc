@@ -68,7 +68,7 @@ void SspWorker::Update(const std::vector<Key>& keys, const Val* updates) {
     ctx_->replicas.Accumulate(k, updates + off);
     // Buffered for the next flush.
     {
-      std::lock_guard<std::mutex> lock(ctx_->acc_mu);
+      MutexLock lock(ctx_->acc_mu);
       Val* slot = ctx_->acc.data() + layout.Offset(k);
       for (size_t j = 0; j < len; ++j) slot[j] += updates[off + j];
       if (!ctx_->acc_dirty[k]) {
@@ -87,7 +87,7 @@ void SspWorker::Clock() {
   std::vector<Key> dirty;
   std::vector<Val> payload;
   {
-    std::lock_guard<std::mutex> lock(ctx_->acc_mu);
+    MutexLock lock(ctx_->acc_mu);
     dirty.swap(ctx_->dirty_keys);
     for (const Key k : dirty) {
       const size_t len = layout.Length(k);
@@ -131,7 +131,7 @@ void SspWorker::Clock() {
   ++clock_;
   int32_t new_node_clock = -1;
   {
-    std::lock_guard<std::mutex> lock(ctx_->clock_mu);
+    MutexLock lock(ctx_->clock_mu);
     ctx_->worker_clocks[thread_ - 1] = clock_;
     int32_t node_min = ctx_->worker_clocks[0];
     for (const int32_t c : ctx_->worker_clocks) {

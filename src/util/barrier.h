@@ -1,9 +1,10 @@
 #ifndef LAPSE_UTIL_BARRIER_H_
 #define LAPSE_UTIL_BARRIER_H_
 
-#include <condition_variable>
 #include <cstddef>
-#include <mutex>
+
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace lapse {
 
@@ -19,29 +20,29 @@ class Barrier {
   Barrier& operator=(const Barrier&) = delete;
 
   // Blocks until all participants of the current generation arrived.
-  void Wait() {
-    std::unique_lock<std::mutex> lock(mu_);
+  void Wait() LAPSE_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     const size_t gen = generation_;
     if (--count_ == 0) {
       ++generation_;
       count_ = threshold_;
-      cv_.notify_all();
+      cv_.NotifyAll();
       return;
     }
-    cv_.wait(lock, [&] { return gen != generation_; });
+    while (gen == generation_) cv_.Wait(mu_);
   }
 
-  size_t generation() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t generation() const LAPSE_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return generation_;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  mutable Mutex mu_;
+  CondVar cv_;
   const size_t threshold_;
-  size_t count_;
-  size_t generation_ = 0;
+  size_t count_ LAPSE_GUARDED_BY(mu_);
+  size_t generation_ LAPSE_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace lapse

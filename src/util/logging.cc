@@ -1,7 +1,8 @@
 #include "util/logging.h"
 
 #include <atomic>
-#include <mutex>
+
+#include "util/sync.h"
 
 namespace lapse {
 namespace {
@@ -9,8 +10,8 @@ namespace {
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
 
 // Serializes emission so concurrent log lines do not interleave.
-std::mutex& EmitMutex() {
-  static std::mutex* m = new std::mutex;
+Mutex& EmitMutex() {
+  static Mutex* m = new Mutex;
   return *m;
 }
 
@@ -51,7 +52,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (level_ >= MinLogLevel() || level_ == LogLevel::kFatal) {
-    std::lock_guard<std::mutex> lock(EmitMutex());
+    MutexLock lock(EmitMutex());
     std::cerr << stream_.str() << std::endl;
   }
   if (level_ == LogLevel::kFatal) {

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <mutex>
+#include "util/sync.h"
 
 #include "ml/loss.h"
 #include "ml/sampler.h"
@@ -65,7 +65,7 @@ std::vector<W2vEpochResult> TrainW2v(ps::PsSystem& system,
 
   ml::NegativeSampler neg_sampler(corpus.counts, 0.75);
 
-  std::mutex acc_mu;
+  Mutex acc_mu;
   std::vector<W2vEpochResult> results(config.epochs);
   std::vector<double> loss_sum(config.epochs, 0.0);
   std::vector<int64_t> loss_n(config.epochs, 0);
@@ -208,13 +208,13 @@ std::vector<W2vEpochResult> TrainW2v(ps::PsSystem& system,
       }
 
       {
-        std::lock_guard<std::mutex> lock(acc_mu);
+        MutexLock lock(acc_mu);
         loss_sum[epoch] += loss;
         loss_n[epoch] += n;
       }
       w.Barrier();
       if (wid == 0) {
-        std::lock_guard<std::mutex> lock(acc_mu);
+        MutexLock lock(acc_mu);
         results[epoch].seconds = epoch_timer.ElapsedSeconds();
       }
       w.Barrier();

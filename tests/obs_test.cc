@@ -166,7 +166,9 @@ TEST(EventRingTest, ConcurrentProducerConsumer) {
     ring.Drain(&out);
     for (const obs::TraceEvent& ev : out) {
       // Drops lose events but never reorder or duplicate the survivors.
-      if (!first) EXPECT_GT(ev.uid, last_uid);
+      if (!first) {
+        EXPECT_GT(ev.uid, last_uid);
+      }
       last_uid = ev.uid;
       first = false;
     }

@@ -226,7 +226,7 @@ TEST(LatchTableTest, MutualExclusion) {
   for (int t = 0; t < 4; ++t) {
     threads.emplace_back([&] {
       for (int i = 0; i < 10000; ++i) {
-        std::lock_guard<Latch> lock(latches.ForKey(9));
+        LatchGuard lock(latches.ForKey(9));
         ++counter;
       }
     });

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Every counter must be exported: registry coverage check.
+
+PR 5 found a counter (backlog_ns) that was recorded on every handled
+message but surfaced nowhere -- the work was paid, the signal was lost.
+This lint makes that impossible to repeat: every counter field of
+ServerStats / AdaptStats / ReplicaManagerStats (and every NetStats
+accessor) must be mentioned in a metric-registration source --
+PsSystem::RegisterMetrics (src/ps/system.cc) or the observability layer's
+constructor (src/obs/observability.cc).
+
+A field is "covered" when its name appears as a whole word anywhere in a
+registration source (the registration naming convention quotes the field
+name in the metric name and/or references it as a member). Helper fields
+that are genuinely not metrics can be exempted in EXEMPT below, with a
+reason.
+
+Usage:
+  python3 tools/lint/check_registry_coverage.py
+
+Exit status: 0 = all counters registered, 1 = orphaned counter found.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import statslint  # noqa: E402
+
+# (struct, field) -> reason it is intentionally not in the registry.
+EXEMPT = {
+    # none currently
+}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", default=None,
+                    help="repo root (default: two levels above this script)")
+    ap.add_argument("--sources", nargs="*", default=None,
+                    help="registration sources relative to root (default: "
+                    + " ".join(statslint.REGISTRATION_SOURCES) + ")")
+    args = ap.parse_args()
+
+    root = args.root or os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    sources = (args.sources if args.sources is not None
+               else statslint.REGISTRATION_SOURCES)
+
+    blob = ""
+    for rel in sources:
+        path = os.path.join(root, rel)
+        if not os.path.exists(path):
+            statslint.fail("registration source %s not found" % rel)
+        with open(path, "r", encoding="utf-8") as f:
+            blob += f.read()
+
+    layouts = statslint.extract_all(root)
+    orphans = []
+    checked = 0
+    for name, (rel_path, fields) in sorted(layouts.items()):
+        for field in fields:
+            if (name, field) in EXEMPT:
+                continue
+            checked += 1
+            if re.search(r"\b" + re.escape(field) + r"\b", blob) is None:
+                orphans.append((name, rel_path, field))
+
+    if orphans:
+        for name, rel_path, field in orphans:
+            sys.stderr.write(
+                "error: %s.%s (%s) is counted but never registered in %s "
+                "-- export it in PsSystem::RegisterMetrics or add an EXEMPT "
+                "entry with a reason\n"
+                % (name, field, rel_path, ", ".join(sources)))
+        return 1
+    print("registry coverage OK (%d counters checked)" % checked)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Append-only layout check for the hot-path stats structs.
+
+The hot counters of ServerStats (and friends) sit on cache lines the fast
+paths already own; inserting or reordering a field mid-struct shifts them
+onto new lines, which once showed up as a double-digit-percent local-op
+regression (see the RULES comment on ServerStats in
+src/ps/node_context.h). This lint makes that rule mechanical: the field
+order of every tracked struct is committed to a golden file, and any
+change other than appending new fields at the end fails.
+
+Usage:
+  python3 tools/lint/check_stats_layout.py            # check (CI)
+  python3 tools/lint/check_stats_layout.py --update   # regenerate golden
+
+Exit status: 0 = layouts match the golden, 1 = violation or parse error.
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import statslint  # noqa: E402
+
+DEFAULT_GOLDEN = "tools/lint/stats_layout.golden"
+
+GOLDEN_HEADER = """\
+# Golden field order of the hot-path stats structs.
+#
+# Regenerate (only when appending fields) with:
+#   python3 tools/lint/check_stats_layout.py --update
+#
+# Appending fields at the end of a struct is allowed; inserting or
+# reordering fields fails CI -- mid-struct insertions shift the hot
+# counters onto different cache lines (measured as a double-digit-percent
+# local-op regression; see the RULES comment on ServerStats in
+# src/ps/node_context.h).
+"""
+
+
+def render_golden(layouts):
+    lines = [GOLDEN_HEADER]
+    for name in sorted(layouts):
+        rel_path, fields = layouts[name]
+        lines.append("%s %s" % (name, rel_path))
+        for f in fields:
+            lines.append("  %s" % f)
+        lines.append("")
+    return "\n".join(lines)
+
+
+def parse_golden(path):
+    layouts = {}
+    current = None
+    with open(path, "r", encoding="utf-8") as f:
+        for raw in f:
+            line = raw.rstrip("\n")
+            if not line.strip() or line.lstrip().startswith("#"):
+                continue
+            if not line.startswith(" "):
+                name, rel_path = line.split()
+                current = []
+                layouts[name] = (rel_path, current)
+            else:
+                if current is None:
+                    statslint.fail("golden field line before any struct")
+                current.append(line.strip())
+    return layouts
+
+
+def check(root, golden_path):
+    actual = statslint.extract_all(root)
+    if not os.path.exists(golden_path):
+        statslint.fail(
+            "golden file %s missing; run with --update to create it"
+            % golden_path)
+    golden = parse_golden(golden_path)
+
+    errors = []
+    for name, (rel_path, fields) in sorted(actual.items()):
+        if name not in golden:
+            errors.append(
+                "%s: not in golden file; run --update to track it" % name)
+            continue
+        golden_fields = golden[name][1]
+        # Append-only: the golden list must be an exact prefix of the
+        # current list.
+        for i, gf in enumerate(golden_fields):
+            if i >= len(fields):
+                errors.append(
+                    "%s (%s): field '%s' was removed (position %d)"
+                    % (name, rel_path, gf, i))
+                break
+            if fields[i] != gf:
+                if fields[i] in golden_fields:
+                    what = "reordered"
+                else:
+                    what = "inserted mid-struct"
+                errors.append(
+                    "%s (%s): field '%s' %s at position %d (golden expects "
+                    "'%s'); appending at the END is the only allowed layout "
+                    "change -- see the RULES comment on ServerStats"
+                    % (name, rel_path, fields[i], what, i, gf))
+                break
+        else:
+            appended = fields[len(golden_fields):]
+            if appended:
+                print("%s: %d new appended field(s) not yet in golden: %s"
+                      % (name, len(appended), ", ".join(appended)))
+                print("  (allowed; run --update to commit the new layout)")
+    for name in sorted(golden):
+        if name not in actual:
+            errors.append("golden tracks unknown struct %s" % name)
+
+    if errors:
+        for e in errors:
+            sys.stderr.write("error: %s\n" % e)
+        return 1
+    print("stats layout OK (%d structs)" % len(actual))
+    return 0
+
+
+def update(root, golden_path):
+    layouts = statslint.extract_all(root)
+    with open(golden_path, "w", encoding="utf-8") as f:
+        f.write(render_golden(layouts))
+    print("wrote %s (%d structs)" % (golden_path, len(layouts)))
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", default=None,
+                    help="repo root (default: two levels above this script)")
+    ap.add_argument("--golden", default=None,
+                    help="golden file path (default: %s under root)"
+                    % DEFAULT_GOLDEN)
+    ap.add_argument("--update", action="store_true",
+                    help="regenerate the golden file from current sources")
+    args = ap.parse_args()
+
+    root = args.root or os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    golden = args.golden or os.path.join(root, DEFAULT_GOLDEN)
+
+    if args.update:
+        return update(root, golden)
+    return check(root, golden)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Self-test for the repo lints, run as a ctest entry.
+
+Each fixture under testdata/ is a miniature repo tree. The pass fixture
+must satisfy both lints; each fail fixture must trip exactly the lint it
+targets. This keeps the lints honest: a regression that makes a lint
+accept everything (or reject everything) fails here before it silently
+neuters CI.
+"""
+
+import os
+import subprocess
+import sys
+
+LINT_DIR = os.path.dirname(os.path.abspath(__file__))
+TESTDATA = os.path.join(LINT_DIR, "testdata")
+
+
+def run_lint(script, fixture, extra=None):
+    root = os.path.join(TESTDATA, fixture)
+    cmd = [sys.executable, os.path.join(LINT_DIR, script), "--root", root]
+    if script == "check_stats_layout.py":
+        cmd += ["--golden",
+                os.path.join(root, "tools/lint/stats_layout.golden")]
+    if extra:
+        cmd += extra
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE,
+                          stderr=subprocess.STDOUT, text=True)
+    return proc.returncode, proc.stdout
+
+
+def expect(name, script, fixture, want_fail):
+    rc, out = run_lint(script, fixture)
+    ok = (rc != 0) if want_fail else (rc == 0)
+    status = "PASS" if ok else "FAIL"
+    print("[%s] %s: %s on %s (exit %d)"
+          % (status, name, script, fixture, rc))
+    if not ok:
+        print(out)
+    return ok
+
+
+def main():
+    results = [
+        # The clean tree satisfies both lints.
+        expect("pass/layout", "check_stats_layout.py", "pass",
+               want_fail=False),
+        expect("pass/coverage", "check_registry_coverage.py", "pass",
+               want_fail=False),
+        # A mid-struct insertion and a reorder both violate append-only.
+        expect("inserted", "check_stats_layout.py", "fail_inserted_field",
+               want_fail=True),
+        expect("reordered", "check_stats_layout.py", "fail_reordered_field",
+               want_fail=True),
+        # An appended field is layout-legal...
+        expect("appended-ok", "check_stats_layout.py",
+               "fail_unregistered_counter", want_fail=False),
+        # ...but must still be registered.
+        expect("unregistered", "check_registry_coverage.py",
+               "fail_unregistered_counter", want_fail=True),
+    ]
+    if all(results):
+        print("all %d lint fixture checks passed" % len(results))
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

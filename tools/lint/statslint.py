@@ -1,0 +1,101 @@
+"""Shared parsing for the stats-struct lints.
+
+Extracts the ordered counter-field lists of the repo's hot-path stats
+structs straight from the C++ headers. Parsing is deliberately regex/line
+based: the tracked structs are plain aggregates (no templates, no nested
+types with fields we track), and a parser that fails loudly on anything
+it does not understand beats a silent half-parse.
+"""
+
+import os
+import re
+import sys
+
+# struct name -> (header path relative to repo root, kind)
+#   kind "fields:<type>"  -- ordered data members of that type (arrays too)
+#   kind "accessors"      -- ordered argless `int64_t name() const` getters
+TRACKED_STRUCTS = {
+    "ServerStats": ("src/ps/node_context.h", "fields:Counter"),
+    "AdaptStats": ("src/adapt/placement_manager.h", "fields:int64_t"),
+    "ReplicaManagerStats": ("src/ps/replica_manager.h", "fields:int64_t"),
+    "NetStats": ("src/net/network.h", "accessors"),
+}
+
+# Registration sources scanned by check_registry_coverage.py. Metric
+# registration lives in PsSystem::RegisterMetrics (src/ps/system.cc) and
+# the observability layer's constructor (src/obs/observability.cc).
+REGISTRATION_SOURCES = [
+    "src/ps/system.cc",
+    "src/obs/observability.cc",
+]
+
+
+def _strip_comments(text):
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.S)
+    text = re.sub(r"//[^\n]*", "", text)
+    return text
+
+
+def _struct_body(text, name):
+    """Returns the brace-delimited body of `struct|class name { ... }`."""
+    m = re.search(r"\b(?:struct|class)\s+" + re.escape(name) + r"\b[^;{]*\{",
+                  text)
+    if m is None:
+        raise ValueError("struct %s not found" % name)
+    depth = 0
+    start = m.end() - 1
+    for i in range(start, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return text[start + 1:i]
+    raise ValueError("unbalanced braces parsing struct %s" % name)
+
+
+def _parse_fields(body, field_type):
+    """Ordered names of `field_type name;` / `field_type name[...] = ..;`."""
+    fields = []
+    pattern = re.compile(
+        r"^\s*(?:mutable\s+)?" + re.escape(field_type) +
+        r"\s+(\w+)\s*(?:\[[^\]]*\])?\s*(?:=[^;]*|\{[^;]*\})?;",
+        re.M)
+    for m in pattern.finditer(body):
+        fields.append(m.group(1))
+    return fields
+
+
+def _parse_accessors(body):
+    """Ordered names of argless `int64_t name() const` accessors."""
+    return re.findall(r"^\s*int64_t\s+(\w+)\(\)\s*const", body, re.M)
+
+
+def extract_struct_fields(root, name):
+    """Ordered counter-ish field/accessor names of one tracked struct."""
+    rel_path, kind = TRACKED_STRUCTS[name]
+    path = os.path.join(root, rel_path)
+    with open(path, "r", encoding="utf-8") as f:
+        text = _strip_comments(f.read())
+    body = _struct_body(text, name)
+    if kind == "accessors":
+        fields = _parse_accessors(body)
+    else:
+        fields = _parse_fields(body, kind.split(":", 1)[1])
+    if not fields:
+        raise ValueError("no fields parsed for %s in %s" % (name, rel_path))
+    return fields
+
+
+def extract_all(root):
+    """{struct name: (relative header path, [ordered field names])}."""
+    out = {}
+    for name in TRACKED_STRUCTS:
+        rel_path, _ = TRACKED_STRUCTS[name]
+        out[name] = (rel_path, extract_struct_fields(root, name))
+    return out
+
+
+def fail(msg):
+    sys.stderr.write("error: %s\n" % msg)
+    sys.exit(1)

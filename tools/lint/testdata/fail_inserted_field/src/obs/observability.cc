@@ -1,0 +1,1 @@
+// Lint fixture: second registration source (empty on purpose).

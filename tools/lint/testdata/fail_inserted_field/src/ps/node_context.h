@@ -1,0 +1,9 @@
+// Lint fixture: a field INSERTED mid-struct (not appended) -- the layout
+// lint must fail against the committed golden.
+struct ServerStats {
+  Counter local_key_reads;
+  Counter shiny_new_counter;  // inserted here instead of appended
+  Counter remote_key_reads;
+  Counter backlog_ns[kNumTypes];
+  Counter replica_key_reads;
+};

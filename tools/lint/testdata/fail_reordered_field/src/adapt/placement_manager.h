@@ -1,0 +1,5 @@
+// Lint fixture: minimal AdaptStats.
+struct AdaptStats {
+  int64_t ticks = 0;
+  int64_t samples = 0;
+};

@@ -1,0 +1,7 @@
+// Lint fixture: two fields REORDERED -- the layout lint must fail.
+struct ServerStats {
+  Counter remote_key_reads;
+  Counter local_key_reads;
+  Counter backlog_ns[kNumTypes];
+  Counter replica_key_reads;
+};

@@ -1,0 +1,5 @@
+// Lint fixture: minimal ReplicaManagerStats.
+struct ReplicaManagerStats {
+  int64_t pinned = 0;
+  int64_t installs = 0;
+};

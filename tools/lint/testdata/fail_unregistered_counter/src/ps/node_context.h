@@ -1,0 +1,9 @@
+// Lint fixture: a counter APPENDED (layout-legal) but never registered --
+// the registry-coverage lint must fail.
+struct ServerStats {
+  Counter local_key_reads;
+  Counter remote_key_reads;
+  Counter backlog_ns[kNumTypes];
+  Counter replica_key_reads;
+  Counter orphaned_counter;  // counted somewhere, exported nowhere
+};

@@ -1,0 +1,10 @@
+// Lint fixture: minimal NetStats (accessor style, like the real one).
+class NetStats {
+ public:
+  int64_t total_messages() const { return total_msgs_.load(); }
+  int64_t total_bytes() const { return total_bytes_.load(); }
+
+ private:
+  std::atomic<int64_t> total_msgs_{0};
+  std::atomic<int64_t> total_bytes_{0};
+};

@@ -1,0 +1,7 @@
+// Lint fixture: minimal ServerStats mirroring the real header's shape.
+struct ServerStats {
+  Counter local_key_reads;
+  Counter remote_key_reads;  // trailing comment
+  Counter backlog_ns[kNumTypes];
+  Counter replica_key_reads;
+};

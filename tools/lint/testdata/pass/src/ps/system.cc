@@ -1,0 +1,13 @@
+// Lint fixture: registration source covering every fixture counter.
+void RegisterMetrics() {
+  reg.AddCounter(p + "local_key_reads", &s.local_key_reads);
+  reg.AddCounter(p + "remote_key_reads", &s.remote_key_reads);
+  reg.AddCounter(p + "backlog_ns." + name, &s.backlog_ns[t]);
+  reg.AddCounter(p + "replica_key_reads", &s.replica_key_reads);
+  reg.AddGauge(p + "adapt.ticks", [m] { return m->stats().ticks; });
+  reg.AddGauge(p + "adapt.samples", [m] { return m->stats().samples; });
+  reg.AddGauge(p + "replica.pinned", [rm] { return rm->stats().pinned; });
+  reg.AddGauge(p + "replica.installs", [rm] { return rm->stats().installs; });
+  reg.AddGauge("net.total_messages", [ns] { return ns->total_messages(); });
+  reg.AddGauge("net.total_bytes", [ns] { return ns->total_bytes(); });
+}
