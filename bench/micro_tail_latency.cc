@@ -98,13 +98,12 @@ void PrintBacklogOffenders(ps::PsSystem& system) {
   };
   std::vector<Offender> all;
   for (NodeId n = 0; n < kNodes; ++n) {
-    const ps::ServerStats& s = system.node_stats(n);
     for (size_t t = 0; t < static_cast<size_t>(net::MsgType::kNumTypes);
          ++t) {
-      const int64_t sum = s.backlog_ns[t].sum();
+      const net::MsgType type = static_cast<net::MsgType>(t);
+      const int64_t sum = system.NodeBacklogSumNs(n, type);
       if (sum > 0) {
-        all.push_back({n, static_cast<net::MsgType>(t), sum,
-                       s.backlog_ns[t].count()});
+        all.push_back({n, type, sum, system.NodeBacklogCount(n, type)});
       }
     }
   }

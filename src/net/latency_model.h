@@ -28,6 +28,15 @@ struct LatencyConfig {
   // hops -- so simulations that care about latency fidelity use a generous
   // budget (dedicated server threads are assumed).
   int64_t idle_spin_ns = 1'000'000;
+  // Simulated server CPU cost per delivered message. Like per_byte_ns
+  // models the NIC as a serial shared resource, this models each receiving
+  // server drain thread as one: messages bound for the same (node, shard)
+  // inbox occupy its service register back to back, so a single drain
+  // thread caps at 1e9/server_ns_per_msg messages per second and sharding
+  // the server multiplies that capacity -- on any host, including
+  // single-core CI boxes where real thread parallelism cannot show it.
+  // 0 (the default) disables the model entirely.
+  int64_t server_ns_per_msg = 0;
 
   // Convenience presets.
   static LatencyConfig Zero() {

@@ -61,7 +61,9 @@ Endpoint::Endpoint(Network* network, NodeId node, int32_t thread,
       node_(node),
       thread_(thread),
       latency_(network->latency_config(), seed),
-      last_deliver_ns_(network->num_nodes(), 0) {}
+      last_deliver_ns_(static_cast<size_t>(network->num_nodes()) *
+                           network->shards_per_node(),
+                       0) {}
 
 void Endpoint::Send(Message msg) {
   LAPSE_CHECK_GE(msg.dst_node, 0);
@@ -86,26 +88,53 @@ void Endpoint::Send(Message msg) {
   } else {
     deliver = msg.send_ns + base_delay;
   }
+  const int shard = network_->ShardOfMsg(msg);
+  // Simulated per-message server CPU: the message next occupies the
+  // receiving drain thread's service register, serialized with everything
+  // else bound for the same (node, shard) inbox. Reserved after link
+  // capacity (a message must arrive before it can be served) and before the
+  // FIFO clamp (service completion is part of this connection's order).
+  const int64_t serve_ns = latency_.config().server_ns_per_msg;
+  if (serve_ns > 0) {
+    deliver =
+        network_->ReserveService(msg.dst_node, shard, deliver, serve_ns);
+  }
   // Per-connection FIFO: never deliver before an earlier message on this
-  // (endpoint -> node) connection.
-  int64_t& last = last_deliver_ns_[msg.dst_node];
+  // (endpoint -> node, shard) connection.
+  const size_t link = static_cast<size_t>(msg.dst_node) *
+                          network_->shards_per_node() +
+                      shard;
+  int64_t& last = last_deliver_ns_[link];
   deliver = std::max(deliver, last);
   last = deliver;
   msg.deliver_ns = deliver;
   network_->stats_.Record(msg);
-  network_->inboxes_[msg.dst_node]->Put(std::move(msg));
+  network_->inboxes_[link]->Put(std::move(msg));
 }
 
-Network::Network(int num_nodes, const LatencyConfig& latency, uint64_t seed)
+Network::Network(int num_nodes, const LatencyConfig& latency, uint64_t seed,
+                 int shards_per_node, std::function<int(Key)> shard_of_key)
     : num_nodes_(num_nodes),
+      shards_per_node_(shards_per_node),
       latency_config_(latency),
       seed_(seed),
+      shard_of_key_(std::move(shard_of_key)),
       egress_busy_until_(num_nodes),
-      ingress_busy_until_(num_nodes) {
+      ingress_busy_until_(num_nodes),
+      service_busy_until_(static_cast<size_t>(num_nodes) * shards_per_node) {
   LAPSE_CHECK_GT(num_nodes, 0);
-  inboxes_.reserve(num_nodes);
+  LAPSE_CHECK_GT(shards_per_node, 0);
+  if (shards_per_node > 1) {
+    LAPSE_CHECK(shard_of_key_ != nullptr)
+        << "Network: multi-shard routing needs a shard_of_key function";
+  }
+  inboxes_.reserve(static_cast<size_t>(num_nodes) * shards_per_node);
   for (int i = 0; i < num_nodes; ++i) {
-    inboxes_.push_back(std::make_unique<Inbox>(latency.idle_spin_ns));
+    for (int s = 0; s < shards_per_node; ++s) {
+      inboxes_.push_back(std::make_unique<Inbox>(latency.idle_spin_ns));
+      service_busy_until_[InboxIndex(i, s)].store(0,
+                                                  std::memory_order_relaxed);
+    }
     egress_busy_until_[i].store(0, std::memory_order_relaxed);
     ingress_busy_until_[i].store(0, std::memory_order_relaxed);
   }
@@ -140,6 +169,12 @@ int64_t Network::ReserveIngress(NodeId dst, int64_t earliest_ns,
   return ReserveSlot(ingress_busy_until_[dst], earliest_ns, cost_ns);
 }
 
+int64_t Network::ReserveService(NodeId dst, int shard, int64_t earliest_ns,
+                                int64_t cost_ns) {
+  return ReserveSlot(service_busy_until_[InboxIndex(dst, shard)], earliest_ns,
+                     cost_ns);
+}
+
 std::unique_ptr<Endpoint> Network::CreateEndpoint(NodeId node,
                                                   int32_t thread) {
   LAPSE_CHECK_GE(node, 0);
@@ -150,12 +185,12 @@ std::unique_ptr<Endpoint> Network::CreateEndpoint(NodeId node,
   return std::make_unique<Endpoint>(this, node, thread, seed);
 }
 
-bool Network::Recv(NodeId node, Message* out) {
-  return inboxes_[node]->Take(out);
+bool Network::Recv(NodeId node, int shard, Message* out) {
+  return inboxes_[InboxIndex(node, shard)]->Take(out);
 }
 
-bool Network::RecvBatch(NodeId node, std::vector<Message>* out) {
-  return inboxes_[node]->TakeBatch(out);
+bool Network::RecvBatch(NodeId node, int shard, std::vector<Message>* out) {
+  return inboxes_[InboxIndex(node, shard)]->TakeBatch(out);
 }
 
 void Network::Shutdown() {

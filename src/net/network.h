@@ -4,6 +4,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -48,9 +49,9 @@ class NetStats {
 class Network;
 
 // Sending handle owned by exactly one thread. Messages sent through one
-// endpoint to the same destination node are delivered in send order
-// (per-connection FIFO, like one TCP connection per peer). Thread-compatible,
-// not thread-safe: each thread creates its own endpoint.
+// endpoint to the same destination (node, shard) inbox are delivered in send
+// order (per-connection FIFO, like one TCP connection per peer). Thread-
+// compatible, not thread-safe: each thread creates its own endpoint.
 class Endpoint {
  public:
   Endpoint(Network* network, NodeId node, int32_t thread, uint64_t seed);
@@ -69,47 +70,66 @@ class Endpoint {
   NodeId node_;
   int32_t thread_;
   LatencyModel latency_;
-  std::vector<int64_t> last_deliver_ns_;  // per destination node
+  std::vector<int64_t> last_deliver_ns_;  // per destination (node, shard)
 };
 
-// In-process simulated cluster interconnect: one inbox per node, endpoints
-// for every sending thread, configurable latency, global statistics.
+// In-process simulated cluster interconnect: one inbox per (node, server
+// shard), endpoints for every sending thread, configurable latency, global
+// statistics. With the default single shard this degenerates to one inbox
+// per node.
+//
+// Shard routing: a keyed message goes to shard_of_key(keys[0]) of its
+// destination node -- senders group keys so every keyed message is
+// shard-pure -- and non-keyed control messages go to shard 0. Per-connection
+// FIFO is kept per (endpoint -> node, shard) link, which is what each
+// per-key protocol ordering argument actually needs: a key's messages all
+// carry the same shard index everywhere.
 class Network {
  public:
-  Network(int num_nodes, const LatencyConfig& latency, uint64_t seed = 1);
+  Network(int num_nodes, const LatencyConfig& latency, uint64_t seed = 1,
+          int shards_per_node = 1,
+          std::function<int(Key)> shard_of_key = nullptr);
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
   int num_nodes() const { return num_nodes_; }
+  int shards_per_node() const { return shards_per_node_; }
   const LatencyConfig& latency_config() const { return latency_config_; }
 
   // Creates a sending endpoint for (node, thread). thread slot 0 is the
   // server thread by convention; workers use slots >= 1.
   std::unique_ptr<Endpoint> CreateEndpoint(NodeId node, int32_t thread);
 
-  // Blocking receive for `node`'s server thread. Returns false once the
-  // network is shut down and the inbox drained.
-  bool Recv(NodeId node, Message* out);
+  // Blocking receive for `node`'s shard-0 server thread. Returns false once
+  // the network is shut down and the inbox drained.
+  bool Recv(NodeId node, Message* out) { return Recv(node, 0, out); }
+  bool Recv(NodeId node, int shard, Message* out);
 
-  // Batched receive: appends every currently-deliverable message for `node`
-  // in delivery order (at least one; blocks like Recv). One lock/wakeup per
-  // batch instead of per message.
-  bool RecvBatch(NodeId node, std::vector<Message>* out);
+  // Batched receive: appends every currently-deliverable message for the
+  // given (node, shard) inbox in delivery order (at least one; blocks like
+  // Recv). One lock/wakeup per batch instead of per message.
+  bool RecvBatch(NodeId node, std::vector<Message>* out) {
+    return RecvBatch(node, 0, out);
+  }
+  bool RecvBatch(NodeId node, int shard, std::vector<Message>* out);
 
   // Wakes all server threads; Recv returns false after draining.
   void Shutdown();
 
   NetStats& stats() { return stats_; }
-  Inbox& inbox(NodeId node) { return *inboxes_[node]; }
+  Inbox& inbox(NodeId node) { return inbox(node, 0); }
+  Inbox& inbox(NodeId node, int shard) {
+    return *inboxes_[InboxIndex(node, shard)];
+  }
 
   // Blocks until every message ever enqueued has been fully handled by its
   // receiver. `processed(n)` must return how many messages node n's server
-  // has finished handling (counted *after* any sends the handler performs).
-  // Used by the systems to make fire-and-forget protocol messages (location
-  // updates, clock broadcasts) visible before Run() returns. Requires that
-  // the servers keep draining (i.e. the network is not shut down) and that
-  // no new external messages are being injected.
+  // shards have finished handling in total (counted *after* any sends the
+  // handlers perform). Used by the systems to make fire-and-forget protocol
+  // messages (location updates, clock broadcasts) visible before Run()
+  // returns. Requires that the servers keep draining (i.e. the network is
+  // not shut down) and that no new external messages are being injected.
   template <typename ProcessedFn>
   void Quiesce(ProcessedFn processed) const {
     // A single all-equal pass is not enough: a handler may send to an
@@ -123,7 +143,7 @@ class Network {
     for (;;) {
       bool quiet = true;
       for (NodeId n = 0; n < num_nodes_; ++n) {
-        cur[n] = inboxes_[n]->PutCount();
+        cur[n] = NodePutCount(n);
         if (cur[n] != processed(n)) {
           quiet = false;
           break;
@@ -142,6 +162,29 @@ class Network {
  private:
   friend class Endpoint;
 
+  size_t InboxIndex(NodeId node, int shard) const {
+    return static_cast<size_t>(node) * shards_per_node_ + shard;
+  }
+
+  // Total messages ever enqueued across node n's shard inboxes. Monotone
+  // (each per-shard PutCount is), which Quiesce's argument relies on.
+  int64_t NodePutCount(NodeId n) const {
+    int64_t total = 0;
+    for (int s = 0; s < shards_per_node_; ++s) {
+      total += inboxes_[InboxIndex(n, s)]->PutCount();
+    }
+    return total;
+  }
+
+  // Destination shard of a message: shard of its first key, or shard 0 for
+  // non-keyed control messages. Senders keep keyed messages shard-pure, so
+  // keys[0] speaks for all of them.
+  int ShardOfMsg(const Message& msg) const {
+    return (shards_per_node_ == 1 || msg.keys.empty())
+               ? 0
+               : shard_of_key_(msg.keys[0]);
+  }
+
   // Reserves NIC time for a message of `bytes` bytes leaving `src` no
   // earlier than `earliest_ns` and returns when its last byte has left the
   // sender (egress capacity = 1/per_byte_ns bytes per second, shared by all
@@ -150,12 +193,22 @@ class Network {
   int64_t ReserveEgress(NodeId src, int64_t earliest_ns, int64_t cost_ns);
   int64_t ReserveIngress(NodeId dst, int64_t earliest_ns, int64_t cost_ns);
 
+  // Reserves service time on the receiving (node, shard) drain thread
+  // (LatencyConfig::server_ns_per_msg per message): the simulated analogue
+  // of the CPU cost each message costs its server, and the resource that
+  // sharding the server actually multiplies.
+  int64_t ReserveService(NodeId dst, int shard, int64_t earliest_ns,
+                         int64_t cost_ns);
+
   const int num_nodes_;
+  const int shards_per_node_;
   const LatencyConfig latency_config_;
   const uint64_t seed_;
-  std::vector<std::unique_ptr<Inbox>> inboxes_;
+  const std::function<int(Key)> shard_of_key_;
+  std::vector<std::unique_ptr<Inbox>> inboxes_;        // (node, shard)
   std::vector<std::atomic<int64_t>> egress_busy_until_;
   std::vector<std::atomic<int64_t>> ingress_busy_until_;
+  std::vector<std::atomic<int64_t>> service_busy_until_;  // (node, shard)
   NetStats stats_;
 };
 

@@ -1,5 +1,7 @@
 #include "ps/config.h"
 
+#include <thread>
+
 #include "util/logging.h"
 
 namespace lapse {
@@ -60,6 +62,18 @@ void Config::Validate() const {
     }
   }
   LAPSE_CHECK_GT(num_latches, 0u) << "Config: num_latches must be positive";
+  LAPSE_CHECK_GT(server_threads, 0)
+      << "Config: server_threads must be positive (each node needs at least "
+         "one server drain thread)";
+  LAPSE_CHECK_LE(server_threads, 64)
+      << "Config: server_threads must be <= 64 (shard indices are stored as "
+         "bytes in the key layout's shard table)";
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw > 0 && static_cast<unsigned>(server_threads) > hw) {
+    LAPSE_LOG(Warning) << "Config: server_threads (" << server_threads
+                       << ") exceeds hardware threads (" << hw
+                       << "); drain threads will contend for cores";
+  }
 
   if (adaptive.enabled) {
     LAPSE_CHECK(arch == Architecture::kLapse)

@@ -5,20 +5,25 @@
 namespace lapse {
 namespace ps {
 
-KeyLayout::KeyLayout(uint64_t num_keys, size_t uniform_length, int num_nodes)
+KeyLayout::KeyLayout(uint64_t num_keys, size_t uniform_length, int num_nodes,
+                     int num_shards)
     : num_keys_(num_keys),
       num_nodes_(num_nodes),
+      num_shards_(num_shards),
       uniform_(true),
       uniform_length_(uniform_length) {
   LAPSE_CHECK_GT(num_keys, 0u);
   LAPSE_CHECK_GT(uniform_length, 0u);
   LAPSE_CHECK_GT(num_nodes, 0);
   total_vals_ = static_cast<size_t>(num_keys) * uniform_length;
+  BuildShardTable();
 }
 
-KeyLayout::KeyLayout(std::vector<size_t> lengths, int num_nodes)
+KeyLayout::KeyLayout(std::vector<size_t> lengths, int num_nodes,
+                     int num_shards)
     : num_keys_(lengths.size()),
       num_nodes_(num_nodes),
+      num_shards_(num_shards),
       uniform_(false),
       lengths_(std::move(lengths)) {
   LAPSE_CHECK_GT(num_keys_, 0u);
@@ -31,6 +36,23 @@ KeyLayout::KeyLayout(std::vector<size_t> lengths, int num_nodes)
     acc += lengths_[k];
   }
   total_vals_ = acc;
+  BuildShardTable();
+}
+
+void KeyLayout::BuildShardTable() {
+  LAPSE_CHECK_GT(num_shards_, 0);
+  LAPSE_CHECK_LE(num_shards_, 255) << "shard indices are stored as bytes";
+  if (num_shards_ == 1) return;
+  shard_of_.resize(num_keys_);
+  const uint64_t s = static_cast<uint64_t>(num_shards_);
+  for (NodeId n = 0; n < num_nodes_; ++n) {
+    const uint64_t begin = HomeBegin(n);
+    const uint64_t end = HomeEnd(n);
+    const uint64_t range = end - begin;  // 0 only for keyless nodes
+    for (uint64_t k = begin; k < end; ++k) {
+      shard_of_[k] = static_cast<uint8_t>((k - begin) * s / range);
+    }
+  }
 }
 
 }  // namespace ps

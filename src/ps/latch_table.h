@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "net/message.h"
+#include "ps/key_layout.h"
 #include "util/thread_annotations.h"
 
 namespace lapse {
@@ -74,9 +75,18 @@ class LAPSE_SCOPED_CAPABILITY LatchGuard {
 // parameters. The paper's default pool size is 1000; the pool rounds the
 // requested size up to the next power of two so the per-access latch lookup
 // is a mask instead of a 64-bit division.
+//
+// With a sharded server (layout->num_shards() > 1) the pool is partitioned
+// by shard: keys of different shards never share a latch, so concurrent
+// shard drain threads cannot contend on (or deadlock through) each other's
+// latches. Within a shard the mapping stays the mixed mask.
 class LatchTable {
  public:
   explicit LatchTable(size_t num_latches);
+
+  // Shard-partitioned pool: num_latches total (rounded up per shard),
+  // partitioned across layout->num_shards() shards.
+  LatchTable(size_t num_latches, const KeyLayout* layout);
 
   LatchTable(const LatchTable&) = delete;
   LatchTable& operator=(const LatchTable&) = delete;
@@ -95,7 +105,10 @@ class LatchTable {
     Latch mu;
   };
 
-  size_t num_latches_;  // power of two
+  size_t num_latches_;       // total slots; per-shard count is a power of two
+  size_t per_shard_mask_;    // per-shard slot count - 1
+  size_t per_shard_;         // per-shard slot count
+  const KeyLayout* layout_;  // null for the unpartitioned pool
   std::unique_ptr<Slot[]> slots_;
 };
 

@@ -171,7 +171,18 @@ struct NodeContext {
   // the handler's own sends). Paired with Inbox::PutCount for quiescing.
   std::atomic<int64_t> processed_msgs{0};
 
+  // Node-level counters written by this node's *workers* (local/remote
+  // reads+writes, queued ops, replica reads/writes). Server-thread-written
+  // counters live in shard_stats below so concurrent shard drains never
+  // share a counter cache line.
   ServerStats stats;
+
+  // One ServerStats per server shard, written only by the owning drain
+  // thread (relocations, localization_conflicts, evictions_received,
+  // backlog_ns[], replica_unregisters). Sized config->server_threads at
+  // system construction and never resized afterwards. Same append-only
+  // golden layout as `stats`; metric consumers sum across shards.
+  std::vector<ServerStats> shard_stats;
 
   KeyState StateOf(Key k) const {
     return static_cast<KeyState>(

@@ -19,6 +19,8 @@ ReplicaManager::ReplicaManager(const KeyLayout* layout,
       values_(layout->num_keys()),
       acc_(layout->num_keys()),
       fold_counts_(layout->num_keys(), 0),
+      unacked_writes_(layout->num_keys(), 0),
+      write_settled_ns_(layout->num_keys(), 0),
       install_ns_(layout->num_keys()),
       pinned_(layout->num_keys()),
       latches_(num_latches) {
@@ -38,6 +40,8 @@ void ReplicaManager::Pin(Key k) {
     std::memset(acc_[k].get(), 0, len * sizeof(Val));
     fold_counts_[k] = 0;
   }
+  unacked_writes_[k] = 0;
+  write_settled_ns_[k] = 0;
   pinned_[k].store(1, std::memory_order_release);
   n_pinned_.fetch_add(1, std::memory_order_relaxed);
 }
@@ -53,6 +57,8 @@ bool ReplicaManager::Unpin(Key k, Val* pending) {
   install_ns_[k].store(kAbsent, std::memory_order_release);
   values_[k].reset();
   acc_[k].reset();
+  unacked_writes_[k] = 0;
+  write_settled_ns_[k] = 0;
   n_pinned_.fetch_sub(1, std::memory_order_relaxed);
   n_unpins_.fetch_add(1, std::memory_order_relaxed);
   return had_folds && pending != nullptr;
@@ -82,9 +88,19 @@ bool ReplicaManager::TryRead(Key k, Val* dst) {
   return true;
 }
 
-void ReplicaManager::Install(Key k, const Val* data) {
+void ReplicaManager::Install(Key k, const Val* data, int64_t issue_ns) {
   LatchGuard latch(latches_.ForKey(k));
   if (!IsPinned(k)) return;
+  // Write-epoch check (write-through mode): a snapshot requested while a
+  // local push was in flight -- or before the last one settled -- may
+  // predate that push; installing it would overwrite the local fold and
+  // un-publish this node's own write. Drop it; a later refresh (issued
+  // after the settle point) installs cleanly. Conservative drops are
+  // benign: the copy just stays absent/stale one round-trip longer.
+  if (!aggregate_ &&
+      (unacked_writes_[k] > 0 || issue_ns < write_settled_ns_[k])) {
+    return;
+  }
   const size_t len = layout_->Length(k);
   std::memcpy(values_[k].get(), data, len * sizeof(Val));
   if (aggregate_ && fold_counts_[k] > 0) {
@@ -100,10 +116,23 @@ void ReplicaManager::Install(Key k, const Val* data) {
 
 void ReplicaManager::Accumulate(Key k, const Val* update) {
   LatchGuard latch(latches_.ForKey(k));
+  if (!IsPinned(k)) return;
+  // Open the write epoch before the absent-copy early return: even with no
+  // copy to fold into, a refresh already in flight may carry a pre-push
+  // snapshot, and Install must know to drop it.
+  ++unacked_writes_[k];
   if (install_ns_[k].load(std::memory_order_acquire) == kAbsent) return;
   Val* slot = values_[k].get();
   const size_t len = layout_->Length(k);
   for (size_t i = 0; i < len; ++i) slot[i] += update[i];
+}
+
+void ReplicaManager::NoteWriteAcked(Key k) {
+  LatchGuard latch(latches_.ForKey(k));
+  // The count can be zero after a Pin/Unpin cycle raced the ack; ignore.
+  if (unacked_writes_[k] > 0 && --unacked_writes_[k] == 0) {
+    write_settled_ns_[k] = NowNanos();
+  }
 }
 
 ReplicaManager::FoldOutcome ReplicaManager::FoldWrite(Key k,

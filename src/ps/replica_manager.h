@@ -58,15 +58,18 @@ struct ReplicaManagerStats {
 //  * A replica-served read returns a value the then-current owner held at
 //    most `staleness_micros` plus one fetch round-trip before the read,
 //    plus this node's own pending (unflushed) folds.
-//  * Writers fold their own pushes into the local copy, so a node usually
-//    observes its own writes immediately; the authoritative update reaches
-//    the owner via write-through (aggregation off) or the next flush
-//    (aggregation on). This is best-effort, not a guarantee: with
-//    aggregation off, a refresh already in flight when the push happened
-//    overwrites the fold until a post-push refresh lands; with aggregation
-//    on, Install re-applies the pending accumulator on top of the fresh
-//    snapshot, so only folds drained-but-not-yet-applied at the owner can
-//    transiently disappear from the visible copy.
+//  * Writers fold their own pushes into the local copy, so a node
+//    observes its own writes (read-your-writes); the authoritative update
+//    reaches the owner via write-through (aggregation off) or the next
+//    flush (aggregation on). With aggregation on, Install re-applies the
+//    pending accumulator on top of the fresh snapshot, so only folds
+//    drained-but-not-yet-applied at the owner can transiently disappear
+//    from the visible copy. With aggregation off, refreshes carry a write
+//    epoch: Install drops any snapshot requested while a local push was
+//    still unacked (or before the last one settled), so a refresh in
+//    flight across a push can never overwrite the fold with a pre-push
+//    value -- the conservative drop costs at most one extra refresh.
+//    (Tested in replica_test.cc: WriteThroughReadYourWrites*.)
 //  * When a pinned key's ownership moves, the home directs an invalidation
 //    at every registered replica holder: the copy is dropped (the pin
 //    stays), and the next read faults a fresh value in from the new owner.
@@ -119,12 +122,27 @@ class ReplicaManager {
   // re-applied on top: the snapshot cannot contain them yet, and dropping
   // them from the visible copy would un-publish this node's own writes
   // until the flush round-trips. No-op if k is no longer pinned.
-  void Install(Key k, const Val* data);
+  //
+  // `issue_ns` is when the refresh's pull was issued (0 = unknown). In
+  // write-through mode the snapshot is dropped -- keeping the folded copy
+  // -- while a local push to k is still unacked, or when the pull was
+  // issued before the last push settled: such a snapshot may predate the
+  // push and would overwrite the fold (the read-your-writes hole this
+  // epoch check closes).
+  void Install(Key k, const Val* data, int64_t issue_ns = 0);
 
   // Write-through, local half (aggregation off): folds `update` into the
-  // copy (if present) so this node's readers usually see the write before
-  // the owner's ack. Callers still forward the authoritative update.
+  // copy (if present) so this node's readers see the write before the
+  // owner's ack, and opens the key's write epoch (even when no copy is
+  // installed yet -- an in-flight refresh may still carry a pre-push
+  // snapshot). Callers still forward the authoritative update; its ack
+  // closes the epoch via NoteWriteAcked.
   void Accumulate(Key k, const Val* update);
+
+  // Write-through mode: one forwarded push to key k was acked by the
+  // owner. Once every outstanding push settled, refreshes issued from now
+  // on are guaranteed to contain the writes, so Install accepts them.
+  void NoteWriteAcked(Key k);
 
   // Write aggregation: folds `update` into key k's accumulator (and into
   // the visible copy, if present, for read-your-writes). Returns
@@ -231,6 +249,11 @@ class ReplicaManager {
   std::vector<std::unique_ptr<Val[]>> values_ LAPSE_GUARDED_BY_KEY_LATCH;
   std::vector<std::unique_ptr<Val[]>> acc_ LAPSE_GUARDED_BY_KEY_LATCH;
   std::vector<uint32_t> fold_counts_ LAPSE_GUARDED_BY_KEY_LATCH;
+  // Write-through read-your-writes epoch (unused when aggregation is on):
+  // pushes to k forwarded to the owner but not yet acked, and when the
+  // count last returned to zero. Reset by Pin/Unpin.
+  std::vector<uint32_t> unacked_writes_ LAPSE_GUARDED_BY_KEY_LATCH;
+  std::vector<int64_t> write_settled_ns_ LAPSE_GUARDED_BY_KEY_LATCH;
   std::vector<std::atomic<int64_t>> install_ns_;  // kAbsent = no copy
   std::vector<std::atomic<uint8_t>> pinned_;
   LatchTable latches_;

@@ -35,19 +35,28 @@ Message SingleKeyCopy(const Message& msg, Key k) {
 
 }  // namespace
 
-Server::Server(NodeContext* ctx, net::Network* network)
+Server::Server(NodeContext* ctx, net::Network* network, int shard)
     : ctx_(ctx),
       network_(network),
-      endpoint_(network->CreateEndpoint(ctx->node, /*thread=*/0)) {
+      shard_(shard),
+      stats_(&ctx->shard_stats[shard]),
+      // Thread-slot convention: 0 = shard-0 server, 1..W = workers, W+1 =
+      // placement manager, W+2.. = the extra server shards, in order.
+      endpoint_(network->CreateEndpoint(
+          ctx->node,
+          shard == 0 ? 0 : ctx->config->workers_per_node + 1 + shard)) {
   groups_.Resize(static_cast<size_t>(network->num_nodes()));
-  if (ctx_->obs != nullptr) trace_ring_ = ctx_->obs->Ring(/*slot=*/0);
+  if (ctx_->obs != nullptr) {
+    trace_ring_ = ctx_->obs->Ring(
+        shard == 0 ? 0 : ctx->config->workers_per_node + 1 + shard);
+  }
 }
 
 void Server::Run() {
-  // Drain the inbox in batches: one lock acquisition (and at most one
-  // condvar wakeup) per burst of deliverable messages instead of per
+  // Drain this shard's inbox in batches: one lock acquisition (and at most
+  // one condvar wakeup) per burst of deliverable messages instead of per
   // message.
-  while (network_->RecvBatch(ctx_->node, &batch_)) {
+  while (network_->RecvBatch(ctx_->node, shard_, &batch_)) {
     for (Message& msg : batch_) {
       if (msg.type == MsgType::kShutdown) return;
       Handle(msg);
@@ -70,7 +79,7 @@ void Server::RecordHop(const Message& msg) {
 }
 
 void Server::Handle(Message& msg) {
-  ctx_->stats.backlog_ns[static_cast<size_t>(msg.type)].Add(
+  stats_->backlog_ns[static_cast<size_t>(msg.type)].Add(
       NowNanos() - msg.deliver_ns);
   if (msg.traced && trace_ring_ != nullptr &&
       msg.op_id != OpTracker::kImmediate) {
@@ -414,9 +423,9 @@ void Server::HandleTransfer(Message& msg) {
     ctx_->SetState(k, KeyState::kOwned);
     if (ctx_->cache) ctx_->cache->Update(k, ctx_->node);
     if (eviction) {
-      ctx_->stats.evictions_received.Add(1);
+      stats_->evictions_received.Add(1);
     } else {
-      ctx_->stats.relocations.Add(rt);
+      stats_->relocations.Add(rt);
     }
     DrainArrived(k);
   }
@@ -522,7 +531,7 @@ void Server::DrainArrived(Key k) {
     std::vector<Key> tkeys = BufferPool::GetKeys();
     std::vector<Val> tvals = BufferPool::GetVals();
     ExtractKey(k, &tkeys, &tvals);
-    ctx_->stats.localization_conflicts.Add(1);
+    stats_->localization_conflicts.Add(1);
     Message t;
     t.type = MsgType::kRelocateTransfer;
     t.dst_node = m.requester_node;
@@ -572,6 +581,11 @@ void Server::ForwardDeferred(Key k, Deferred item) {
 
 void Server::HandlePullResp(const Message& msg) {
   OpTracker& tracker = ctx_->TrackerFor(msg.orig_thread);
+  // When this pull was issued, for the write-epoch check below: a snapshot
+  // requested before a local write settled must not overwrite the fold.
+  // Read before CompleteKeys -- the op cannot retire (and recycle its slot)
+  // until its own CompleteKeys call at the bottom.
+  const int64_t issue_ns = tracker.IssueNs(msg.op_id);
   size_t val_off = 0;
   for (const Key k : msg.keys) {
     const size_t len = ctx_->layout->Length(k);
@@ -582,7 +596,7 @@ void Server::HandlePullResp(const Message& msg) {
     // copy a pinned replica needs -- install it so subsequent reads within
     // the staleness bound stay local.
     if (ctx_->replicas && ctx_->replicas->IsPinned(k)) {
-      ctx_->replicas->Install(k, msg.vals.data() + val_off);
+      ctx_->replicas->Install(k, msg.vals.data() + val_off, issue_ns);
       if (msg.traced && trace_ring_ != nullptr) {
         trace_ring_->TryPush(obs::TraceEvent::Mark(
             obs::PackUid(msg.orig_node, msg.orig_thread, msg.op_id),
@@ -603,6 +617,11 @@ void Server::HandlePullResp(const Message& msg) {
 void Server::HandlePushAck(const Message& msg) {
   if (ctx_->cache) {
     for (const Key k : msg.keys) ctx_->cache->Update(k, msg.src_node);
+  }
+  // Write-through mode: the acked push has reached the owner, so replica
+  // refreshes issued from now on reflect it. Close the write epoch.
+  if (ctx_->replicas && !ctx_->replicas->aggregates_writes()) {
+    for (const Key k : msg.keys) ctx_->replicas->NoteWriteAcked(k);
   }
   if (ctx_->TrackerFor(msg.orig_thread)
           .CompleteKeys(msg.op_id, msg.keys.size()) &&
@@ -657,7 +676,7 @@ void Server::HandleReplicaUnregister(const Message& msg) {
     const size_t before = holders.size();
     holders.erase(std::remove(holders.begin(), holders.end(), holder),
                   holders.end());
-    if (holders.size() != before) ctx_->stats.replica_unregisters.Add(1);
+    if (holders.size() != before) stats_->replica_unregisters.Add(1);
     if (holders.empty()) replica_holders_.erase(it);
   }
 }

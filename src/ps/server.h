@@ -17,9 +17,18 @@ namespace ps {
 // routes operations for keys it does not (forward strategy, Figure 5),
 // executes the three-message relocation protocol (Figure 4), and completes
 // the node's workers' pending operations when responses arrive.
+//
+// With Config::server_threads > 1 a node runs one Server instance per key-
+// range shard (KeyLayout::Shard). Each instance drains only its own
+// (node, shard) inbox, and because a key's shard is the same at every node,
+// every message about a key -- ops, relocation traffic, invalidations, fold
+// drains -- lands on the owning shard's thread. The per-key ordering
+// guarantees (invalidate-before-transfer, folds-forwarded-before-invalidate)
+// therefore hold per shard with no cross-shard locks; the latch table is
+// shard-partitioned to match.
 class Server {
  public:
-  Server(NodeContext* ctx, net::Network* network);
+  Server(NodeContext* ctx, net::Network* network, int shard = 0);
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
@@ -102,6 +111,11 @@ class Server {
 
   NodeContext* ctx_;
   net::Network* network_;
+  // This instance's key-range shard; it drains inbox (node, shard_) only.
+  int shard_;
+  // Counters owned by this shard's drain thread: &ctx_->shard_stats[shard_].
+  // Never written by any other thread.
+  ServerStats* stats_;
   std::unique_ptr<net::Endpoint> endpoint_;
 
   // Reusable per-message scratch (the server is single-threaded): flat

@@ -11,10 +11,11 @@ namespace {
 
 KeyLayout MakeLayout(const Config& config) {
   if (!config.value_lengths.empty()) {
-    return KeyLayout(config.value_lengths, config.num_nodes);
+    return KeyLayout(config.value_lengths, config.num_nodes,
+                     config.server_threads);
   }
   return KeyLayout(config.num_keys, config.uniform_value_length,
-                   config.num_nodes);
+                   config.num_nodes, config.server_threads);
 }
 
 }  // namespace
@@ -22,8 +23,11 @@ KeyLayout MakeLayout(const Config& config) {
 PsSystem::PsSystem(Config config)
     : config_((config.Normalize(), std::move(config))),
       layout_(MakeLayout(config_)),
-      network_(config_.num_nodes, config_.latency, config_.seed),
+      network_(config_.num_nodes, config_.latency, config_.seed,
+               config_.server_threads,
+               [this](Key k) { return layout_.Shard(k); }),
       worker_barrier_(static_cast<size_t>(config_.total_workers())) {
+  const int num_shards = config_.server_threads;
   nodes_.reserve(config_.num_nodes);
   for (NodeId n = 0; n < config_.num_nodes; ++n) {
     auto ctx = std::make_unique<NodeContext>();
@@ -31,7 +35,13 @@ PsSystem::PsSystem(Config config)
     ctx->config = &config_;
     ctx->layout = &layout_;
     ctx->store = CreateStorage(config_.storage, &layout_);
-    ctx->latches = std::make_unique<LatchTable>(config_.num_latches);
+    // Partitioned by shard: each drain thread contends only for the slice
+    // of latch slots covering its own shard's keys.
+    ctx->latches =
+        std::make_unique<LatchTable>(config_.num_latches, &layout_);
+    // Sized once, before any Server is constructed (the Server constructor
+    // takes the address of its shard's slot) and never resized after.
+    ctx->shard_stats = std::vector<ServerStats>(num_shards);
     ctx->key_state = std::vector<std::atomic<uint8_t>>(layout_.num_keys());
     for (uint64_t k = 0; k < layout_.num_keys(); ++k) {
       const bool here = (layout_.Home(k) == n);
@@ -64,23 +74,34 @@ PsSystem::PsSystem(Config config)
   }
   if (config_.obs.enabled) {
     // Before the servers: they grab their trace ring in their constructor.
+    // Ring slots per node: 0 = shard-0 server, 1..W = workers, W+1 = the
+    // placement manager's protocol worker, W+2.. = server shards 1..S-1.
     obs_ = std::make_unique<obs::Observability>(
-        config_.obs, config_.num_nodes, config_.workers_per_node + 2);
+        config_.obs, config_.num_nodes,
+        config_.workers_per_node + 2 + (num_shards - 1));
     for (NodeId n = 0; n < config_.num_nodes; ++n) {
       nodes_[n]->obs = obs_->NodeRings(n);
-      network_.inbox(n).SetDepthHistogram(&obs_->InboxDepth());
+      // Every (node, shard) inbox samples its own depth on each Put, so
+      // the gauge covers all shards exactly once.
+      for (int s = 0; s < num_shards; ++s) {
+        network_.inbox(n, s).SetDepthHistogram(&obs_->InboxDepth());
+      }
       if (nodes_[n]->replicas) {
         nodes_[n]->replicas->SetReadAgeHistogram(&obs_->ReplicaReadAge());
       }
     }
   }
-  servers_.reserve(config_.num_nodes);
+  // One Server (and drain thread) per (node, shard), indexed n * S + s.
+  servers_.reserve(static_cast<size_t>(config_.num_nodes) * num_shards);
   for (NodeId n = 0; n < config_.num_nodes; ++n) {
-    servers_.push_back(std::make_unique<Server>(nodes_[n].get(), &network_));
+    for (int s = 0; s < num_shards; ++s) {
+      servers_.push_back(
+          std::make_unique<Server>(nodes_[n].get(), &network_, s));
+    }
   }
-  server_threads_.reserve(config_.num_nodes);
-  for (NodeId n = 0; n < config_.num_nodes; ++n) {
-    server_threads_.emplace_back([this, n] { servers_[n]->Run(); });
+  server_threads_.reserve(servers_.size());
+  for (size_t i = 0; i < servers_.size(); ++i) {
+    server_threads_.emplace_back([this, i] { servers_[i]->Run(); });
   }
   if (config_.adaptive.enabled) {
     managers_.reserve(config_.num_nodes);
@@ -130,27 +151,34 @@ void PsSystem::RegisterMetrics() {
   obs::MetricsRegistry& reg = obs_->registry();
   for (NodeId n = 0; n < config_.num_nodes; ++n) {
     const std::string p = "node" + std::to_string(n) + ".";
+    // Worker-written fields stay node-level (all of the node's workers
+    // share one ServerStats)...
     ServerStats& s = nodes_[n]->stats;
     reg.AddCounter(p + "local_key_reads", &s.local_key_reads);
     reg.AddCounter(p + "remote_key_reads", &s.remote_key_reads);
     reg.AddCounter(p + "local_key_writes", &s.local_key_writes);
     reg.AddCounter(p + "remote_key_writes", &s.remote_key_writes);
     reg.AddCounter(p + "queued_local_ops", &s.queued_local_ops);
-    reg.AddCounter(p + "relocations", &s.relocations);
-    reg.AddCounter(p + "localization_conflicts",
-                   &s.localization_conflicts);
-    reg.AddCounter(p + "evictions_received", &s.evictions_received);
     reg.AddCounter(p + "replica_key_reads", &s.replica_key_reads);
     reg.AddCounter(p + "replica_key_writes", &s.replica_key_writes);
-    reg.AddCounter(p + "replica_unregisters", &s.replica_unregisters);
-    // The per-message-type backlog counters were recorded on every handled
-    // message but surfaced nowhere until now; count = messages, sum =
-    // total delivery-to-processing lag (ns).
-    for (size_t t = 0; t < static_cast<size_t>(net::MsgType::kNumTypes);
-         ++t) {
-      reg.AddCounter(
-          p + "backlog_ns." + net::MsgTypeName(static_cast<net::MsgType>(t)),
-          &s.backlog_ns[t]);
+    // ...while server-written fields are per drain thread, registered under
+    // node{n}.shard{s}.* so no shard's work is double-counted or sampled
+    // only through shard 0. The per-message-type backlog counters: count =
+    // messages, sum = total delivery-to-processing lag (ns).
+    for (size_t sh = 0; sh < nodes_[n]->shard_stats.size(); ++sh) {
+      const std::string sp = p + "shard" + std::to_string(sh) + ".";
+      ServerStats& ss = nodes_[n]->shard_stats[sh];
+      reg.AddCounter(sp + "relocations", &ss.relocations);
+      reg.AddCounter(sp + "localization_conflicts",
+                     &ss.localization_conflicts);
+      reg.AddCounter(sp + "evictions_received", &ss.evictions_received);
+      reg.AddCounter(sp + "replica_unregisters", &ss.replica_unregisters);
+      for (size_t t = 0; t < static_cast<size_t>(net::MsgType::kNumTypes);
+           ++t) {
+        reg.AddCounter(sp + "backlog_ns." +
+                           net::MsgTypeName(static_cast<net::MsgType>(t)),
+                       &ss.backlog_ns[t]);
+      }
     }
     if (nodes_[n]->replicas) {
       ReplicaManager* rm = nodes_[n]->replicas.get();
@@ -297,22 +325,77 @@ int64_t PsSystem::TotalRemoteWrites() const {
 
 int64_t PsSystem::TotalRelocatedKeys() const {
   int64_t total = 0;
-  for (const auto& n : nodes_) total += n->stats.relocations.count();
+  for (const auto& n : nodes_) {
+    for (const auto& ss : n->shard_stats) total += ss.relocations.count();
+  }
   return total;
 }
 
 double PsSystem::MeanRelocationNs() const {
   int64_t count = 0, sum = 0;
   for (const auto& n : nodes_) {
-    count += n->stats.relocations.count();
-    sum += n->stats.relocations.sum();
+    for (const auto& ss : n->shard_stats) {
+      count += ss.relocations.count();
+      sum += ss.relocations.sum();
+    }
   }
   return count == 0 ? 0.0
                     : static_cast<double>(sum) / static_cast<double>(count);
 }
 
+int64_t PsSystem::NodeRelocatedKeys(NodeId n) const {
+  int64_t total = 0;
+  for (const auto& ss : nodes_[n]->shard_stats) {
+    total += ss.relocations.count();
+  }
+  return total;
+}
+
+int64_t PsSystem::NodeLocalizationConflicts(NodeId n) const {
+  int64_t total = 0;
+  for (const auto& ss : nodes_[n]->shard_stats) {
+    total += ss.localization_conflicts.count();
+  }
+  return total;
+}
+
+int64_t PsSystem::NodeEvictionsReceived(NodeId n) const {
+  int64_t total = 0;
+  for (const auto& ss : nodes_[n]->shard_stats) {
+    total += ss.evictions_received.count();
+  }
+  return total;
+}
+
+int64_t PsSystem::NodeReplicaUnregisters(NodeId n) const {
+  int64_t total = 0;
+  for (const auto& ss : nodes_[n]->shard_stats) {
+    total += ss.replica_unregisters.count();
+  }
+  return total;
+}
+
+int64_t PsSystem::NodeBacklogCount(NodeId n, net::MsgType t) const {
+  int64_t total = 0;
+  for (const auto& ss : nodes_[n]->shard_stats) {
+    total += ss.backlog_ns[static_cast<size_t>(t)].count();
+  }
+  return total;
+}
+
+int64_t PsSystem::NodeBacklogSumNs(NodeId n, net::MsgType t) const {
+  int64_t total = 0;
+  for (const auto& ss : nodes_[n]->shard_stats) {
+    total += ss.backlog_ns[static_cast<size_t>(t)].sum();
+  }
+  return total;
+}
+
 void PsSystem::ResetStats() {
-  for (auto& n : nodes_) n->stats.Reset();
+  for (auto& n : nodes_) {
+    n->stats.Reset();
+    for (auto& ss : n->shard_stats) ss.Reset();
+  }
   network_.stats().Reset();
 }
 

@@ -19,9 +19,18 @@
 namespace lapse {
 namespace ps {
 
-// A simulated PS deployment: `num_nodes` logical nodes, each with one
-// server thread and `workers_per_node` worker threads, connected by the
-// in-process network (Figure 2 of the paper).
+// A simulated PS deployment: `num_nodes` logical nodes, each with
+// `Config::server_threads` server drain threads (one per key-range shard)
+// and `workers_per_node` worker threads, connected by the in-process
+// network (Figure 2 of the paper).
+//
+// Sharded server: every key maps to one shard of its home range
+// (KeyLayout::Shard, identical at every node), the network routes each
+// keyed message to the (node, shard) inbox of its keys' shard, and one
+// drain thread owns each shard's storage partition, latch partition, and
+// replica-directory slice. Control messages without keys go to shard 0.
+// The relocation/replication ordering guarantees are per key, so confining
+// each key to one drain thread preserves them without cross-shard locks.
 //
 // Typical use:
 //
@@ -63,8 +72,23 @@ class PsSystem {
   const Config& config() const { return config_; }
   const KeyLayout& layout() const { return layout_; }
   net::NetStats& net_stats() { return network_.stats(); }
+  // Node-level stats: the worker-written fields (local/remote reads and
+  // writes, queued ops, replica reads/writes). Server-written fields live
+  // in shard_stats(n, s); use the Node* aggregation helpers below.
   ServerStats& node_stats(NodeId n) { return nodes_[n]->stats; }
+  // Per-shard stats written by shard s's drain thread of node n.
+  ServerStats& shard_stats(NodeId n, int s) {
+    return nodes_[n]->shard_stats[s];
+  }
   NodeContext& node_context(NodeId n) { return *nodes_[n]; }
+
+  // Server-written fields aggregated over node n's shards.
+  int64_t NodeRelocatedKeys(NodeId n) const;
+  int64_t NodeLocalizationConflicts(NodeId n) const;
+  int64_t NodeEvictionsReceived(NodeId n) const;
+  int64_t NodeReplicaUnregisters(NodeId n) const;
+  int64_t NodeBacklogCount(NodeId n, net::MsgType t) const;
+  int64_t NodeBacklogSumNs(NodeId n, net::MsgType t) const;
 
   // --- adaptive placement engine (config.adaptive.enabled) --------------
   bool adaptive_enabled() const { return !managers_.empty(); }

@@ -45,7 +45,10 @@ Worker::Worker(NodeContext* ctx, net::Network* network,
     trace_countdown_ =
         1 + static_cast<uint32_t>(global_id) % trace_period_;
   }
-  scratch_.groups.Resize(static_cast<size_t>(ctx_->layout->num_nodes()));
+  num_shards_ = static_cast<NodeId>(ctx_->layout->num_shards());
+  // One group slot per (destination node, server shard).
+  scratch_.groups.Resize(static_cast<size_t>(ctx_->layout->num_nodes()) *
+                         static_cast<size_t>(num_shards_));
 }
 
 Worker::~Worker() {
@@ -239,7 +242,7 @@ uint64_t Worker::PullAsync(const std::vector<Key>& keys, Val* dst) {
     if (broadcast_ops) {
       sc.broadcast_keys.push_back(k);
     } else {
-      sc.groups.AddKey(RemoteDst(k), k);
+      sc.groups.AddKey(GroupSlot(RemoteDst(k), k), k);
     }
   }
 
@@ -248,30 +251,19 @@ uint64_t Worker::PullAsync(const std::vector<Key>& keys, Val* dst) {
   ctx_->stats.remote_key_reads.Add(remote_reads);
   ctx_->stats.queued_local_ops.Add(queued);
 
-  for (const NodeId dst_node : sc.groups.touched()) {
+  for (const NodeId slot : sc.groups.touched()) {
     Message m;
     m.type = MsgType::kPull;
-    m.dst_node = dst_node;
+    m.dst_node = GroupNode(slot);
     m.orig_node = ctx_->node;
     m.orig_thread = thread_;
     m.op_id = op;
     m.traced = traced;
-    m.keys = sc.groups.TakeKeys(dst_node);
+    m.keys = sc.groups.TakeKeys(slot);
     endpoint_->Send(std::move(m));
   }
   if (!sc.broadcast_keys.empty()) {
-    for (NodeId n = 0; n < ctx_->layout->num_nodes(); ++n) {
-      if (n == ctx_->node) continue;
-      Message m;
-      m.type = MsgType::kPull;
-      m.dst_node = n;
-      m.orig_node = ctx_->node;
-      m.orig_thread = thread_;
-      m.op_id = op;
-      m.traced = traced;
-      m.keys = sc.broadcast_keys;
-      endpoint_->Send(std::move(m));
-    }
+    BroadcastOp(MsgType::kPull, op, traced);
   }
 
   const bool done_now = tracker_->CompleteKeys(op, inline_done);
@@ -417,9 +409,9 @@ uint64_t Worker::PushAsync(const std::vector<Key>& keys,
       sc.broadcast_vals.insert(sc.broadcast_vals.end(), updates + off,
                                updates + off + len);
     } else {
-      const NodeId dst_node = RemoteDst(k);
-      sc.groups.AddKey(dst_node, k);
-      sc.groups.AddVals(dst_node, updates + off, len);
+      const NodeId slot = GroupSlot(RemoteDst(k), k);
+      sc.groups.AddKey(slot, k);
+      sc.groups.AddVals(slot, updates + off, len);
     }
   }
 
@@ -428,36 +420,20 @@ uint64_t Worker::PushAsync(const std::vector<Key>& keys,
   if (replica_folds > 0) ctx_->stats.replica_key_writes.Add(replica_folds);
   ctx_->stats.queued_local_ops.Add(queued);
 
-  for (const NodeId dst_node : sc.groups.touched()) {
+  for (const NodeId slot : sc.groups.touched()) {
     Message m;
     m.type = MsgType::kPush;
-    m.dst_node = dst_node;
+    m.dst_node = GroupNode(slot);
     m.orig_node = ctx_->node;
     m.orig_thread = thread_;
     m.op_id = op;
     m.traced = traced;
-    m.keys = sc.groups.TakeKeys(dst_node);
-    m.vals = sc.groups.TakeVals(dst_node);
+    m.keys = sc.groups.TakeKeys(slot);
+    m.vals = sc.groups.TakeVals(slot);
     endpoint_->Send(std::move(m));
   }
   if (!sc.broadcast_keys.empty()) {
-    // One shared payload for all peers instead of n-1 full copies; moving
-    // the scratch buffer makes the broadcast path itself zero-copy.
-    auto shared =
-        std::make_shared<const std::vector<Val>>(std::move(sc.broadcast_vals));
-    for (NodeId n = 0; n < ctx_->layout->num_nodes(); ++n) {
-      if (n == ctx_->node) continue;
-      Message m;
-      m.type = MsgType::kPush;
-      m.dst_node = n;
-      m.orig_node = ctx_->node;
-      m.orig_thread = thread_;
-      m.op_id = op;
-      m.traced = traced;
-      m.keys = sc.broadcast_keys;
-      m.shared_vals = shared;
-      endpoint_->Send(std::move(m));
-    }
+    BroadcastOp(MsgType::kPush, op, traced);
   }
 
   const bool done_now = tracker_->CompleteKeys(op, inline_done);
@@ -531,13 +507,15 @@ uint64_t Worker::LocalizeAsync(const std::vector<Key>& keys) {
     }
     const NodeId dst =
         broadcast_reloc ? RemoteDst(k) : ctx_->layout->Home(k);
-    sc.groups.AddKey(dst, k);
+    sc.groups.AddKey(GroupSlot(dst, k), k);
   }
 
-  for (const NodeId dst_node : sc.groups.touched()) {
-    const std::vector<Key>& group_keys = sc.groups.KeysOf(dst_node);
+  for (const NodeId slot : sc.groups.touched()) {
+    const NodeId dst_node = GroupNode(slot);
+    const std::vector<Key>& group_keys = sc.groups.KeysOf(slot);
     if (broadcast_reloc) {
       // Direct-mail the new location to all uninvolved nodes (Table 3).
+      // The group is shard-pure, so each update message is too.
       for (const Key k : group_keys) ctx_->owners->SetOwner(k, ctx_->node);
       for (NodeId n = 0; n < ctx_->layout->num_nodes(); ++n) {
         if (n == ctx_->node || n == dst_node) continue;
@@ -559,7 +537,7 @@ uint64_t Worker::LocalizeAsync(const std::vector<Key>& keys) {
     m.op_id = op;
     m.traced = traced;
     m.requester_node = ctx_->node;
-    m.keys = sc.groups.TakeKeys(dst_node);
+    m.keys = sc.groups.TakeKeys(slot);
     endpoint_->Send(std::move(m));
   }
 
@@ -603,11 +581,12 @@ size_t Worker::Evict(const std::vector<Key>& keys) {
     if (home == ctx_->node) continue;  // already where it belongs
     LatchGuard latch(ctx_->latches->ForKey(k));
     if (ctx_->StateOf(k) != KeyState::kOwned) continue;
-    sc.groups.AddKey(home, k);
+    sc.groups.AddKey(GroupSlot(home, k), k);
     ++issued;
   }
 
-  for (const NodeId home : sc.groups.touched()) {
+  for (const NodeId slot : sc.groups.touched()) {
+    const NodeId home = GroupNode(slot);
     Message m;
     m.type = MsgType::kLocalize;
     m.dst_node = home;
@@ -615,7 +594,7 @@ size_t Worker::Evict(const std::vector<Key>& keys) {
     m.orig_thread = 0;
     m.op_id = OpTracker::kImmediate;
     m.requester_node = home;
-    m.keys = sc.groups.TakeKeys(home);
+    m.keys = sc.groups.TakeKeys(slot);
     endpoint_->Send(std::move(m));
   }
   return issued;
@@ -641,7 +620,7 @@ size_t Worker::Replicate(const std::vector<Key>& keys) {
   for (const Key k : sc.localize_keys) {
     if (replicas_->IsPinned(k)) continue;
     replicas_->Pin(k);
-    sc.groups.AddKey(ctx_->layout->Home(k), k);
+    sc.groups.AddKey(GroupSlot(ctx_->layout->Home(k), k), k);
     ++pinned;
   }
 
@@ -660,16 +639,16 @@ uint64_t Worker::SendGroupedPushes() {
   // localized here since its last fold routes through its home and comes
   // straight back -- the relocation protocol already handles that.
   const uint64_t op = tracker_->Create(nullptr, sc.key_offsets, NowNanos());
-  for (const NodeId dst_node : sc.groups.touched()) {
+  for (const NodeId slot : sc.groups.touched()) {
     Message m;
     m.type = MsgType::kPush;
-    m.dst_node = dst_node;
+    m.dst_node = GroupNode(slot);
     m.orig_node = ctx_->node;
     m.orig_thread = thread_;
     m.op_id = op;
     m.traced = traced;
-    m.keys = sc.groups.TakeKeys(dst_node);
-    m.vals = sc.groups.TakeVals(dst_node);
+    m.keys = sc.groups.TakeKeys(slot);
+    m.vals = sc.groups.TakeVals(slot);
     endpoint_->Send(std::move(m));
   }
   if (traced) {
@@ -681,15 +660,16 @@ uint64_t Worker::SendGroupedPushes() {
 
 void Worker::SendReplicaControl(MsgType type) {
   Scratch& sc = scratch_;
-  for (const NodeId home : sc.groups.touched()) {
+  for (const NodeId slot : sc.groups.touched()) {
     Message m;
     m.type = type;
-    m.dst_node = home;  // the home may be this node: self-sends deliver
+    // The home may be this node: self-sends deliver through the inbox.
+    m.dst_node = GroupNode(slot);
     m.orig_node = ctx_->node;
     m.orig_thread = thread_;
     m.op_id = OpTracker::kImmediate;
     m.requester_node = ctx_->node;
-    m.keys = sc.groups.TakeKeys(home);
+    m.keys = sc.groups.TakeKeys(slot);
     endpoint_->Send(std::move(m));
   }
 }
@@ -703,9 +683,9 @@ uint64_t Worker::FlushReplicas() {
   sc.groups.Begin();
   sc.key_offsets.clear();
   replicas_->DrainDirty([&](Key k, const Val* acc) {
-    const NodeId dst = RemoteDst(k);
-    sc.groups.AddKey(dst, k);
-    sc.groups.AddVals(dst, acc, layout.Length(k));
+    const NodeId slot = GroupSlot(RemoteDst(k), k);
+    sc.groups.AddKey(slot, k);
+    sc.groups.AddVals(slot, acc, layout.Length(k));
     sc.key_offsets.emplace_back(k, size_t{0});
   });
   return SendGroupedPushes();
@@ -728,9 +708,9 @@ size_t Worker::Unreplicate(const std::vector<Key>& keys) {
     if (sc.broadcast_vals.size() < len) sc.broadcast_vals.resize(len);
     if (!replicas_->IsPinned(k)) continue;
     if (replicas_->Unpin(k, sc.broadcast_vals.data())) {
-      const NodeId dst = RemoteDst(k);
-      sc.groups.AddKey(dst, k);
-      sc.groups.AddVals(dst, sc.broadcast_vals.data(), len);
+      const NodeId slot = GroupSlot(RemoteDst(k), k);
+      sc.groups.AddKey(slot, k);
+      sc.groups.AddVals(slot, sc.broadcast_vals.data(), len);
       sc.key_offsets.emplace_back(k, size_t{0});
     }
     sc.broadcast_keys.push_back(k);
@@ -742,10 +722,75 @@ size_t Worker::Unreplicate(const std::vector<Key>& keys) {
   // node. Fire-and-forget, like the registration.
   sc.groups.Begin();
   for (const Key k : sc.broadcast_keys) {
-    sc.groups.AddKey(layout.Home(k), k);
+    sc.groups.AddKey(GroupSlot(layout.Home(k), k), k);
   }
   SendReplicaControl(MsgType::kReplicaUnregister);
   return sc.broadcast_keys.size();
+}
+
+void Worker::BroadcastOp(MsgType type, uint64_t op, bool traced) {
+  Scratch& sc = scratch_;
+  const NodeId num_nodes = ctx_->layout->num_nodes();
+  const bool is_push = (type == MsgType::kPush);
+  if (num_shards_ == 1) {
+    // One shared payload for all peers instead of n-1 full copies; moving
+    // the scratch buffer makes the broadcast path itself zero-copy.
+    std::shared_ptr<const std::vector<Val>> shared;
+    if (is_push) {
+      shared = std::make_shared<const std::vector<Val>>(
+          std::move(sc.broadcast_vals));
+    }
+    for (NodeId n = 0; n < num_nodes; ++n) {
+      if (n == ctx_->node) continue;
+      Message m;
+      m.type = type;
+      m.dst_node = n;
+      m.orig_node = ctx_->node;
+      m.orig_thread = thread_;
+      m.op_id = op;
+      m.traced = traced;
+      m.keys = sc.broadcast_keys;
+      if (is_push) m.shared_vals = shared;
+      endpoint_->Send(std::move(m));
+    }
+    return;
+  }
+  // Sharded servers: split the broadcast per shard so each message stays
+  // shard-pure; each shard's payload is still shared across all peers.
+  const KeyLayout& layout = *ctx_->layout;
+  for (NodeId s = 0; s < num_shards_; ++s) {
+    std::vector<Key> shard_keys;
+    auto shard_vals = std::make_shared<std::vector<Val>>();
+    size_t off = 0;
+    for (const Key k : sc.broadcast_keys) {
+      const size_t len = is_push ? layout.Length(k) : 0;
+      if (layout.Shard(k) == s) {
+        shard_keys.push_back(k);
+        if (is_push) {
+          shard_vals->insert(shard_vals->end(),
+                             sc.broadcast_vals.begin() + off,
+                             sc.broadcast_vals.begin() + off + len);
+        }
+      }
+      off += len;
+    }
+    if (shard_keys.empty()) continue;
+    const std::shared_ptr<const std::vector<Val>> shared =
+        std::move(shard_vals);
+    for (NodeId n = 0; n < num_nodes; ++n) {
+      if (n == ctx_->node) continue;
+      Message m;
+      m.type = type;
+      m.dst_node = n;
+      m.orig_node = ctx_->node;
+      m.orig_thread = thread_;
+      m.op_id = op;
+      m.traced = traced;
+      m.keys = shard_keys;
+      if (is_push) m.shared_vals = shared;
+      endpoint_->Send(std::move(m));
+    }
+  }
 }
 
 bool Worker::PullIfLocal(Key k, Val* dst) {

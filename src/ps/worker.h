@@ -147,6 +147,22 @@ class Worker {
   // location cache if enabled and filled, else home / owner view).
   NodeId RemoteDst(Key k) const;
 
+  // Send-grouping slot for key k bound for node `dst`: (dst, shard-of-k)
+  // flattened as dst * num_shards + shard. Grouping by slot instead of by
+  // node keeps every grouped message shard-pure, which is what lets the
+  // network route it straight to the owning server shard's inbox.
+  // GroupNode decodes a slot back to its destination node.
+  NodeId GroupSlot(NodeId dst, Key k) const {
+    return dst * num_shards_ + static_cast<NodeId>(ctx_->layout->Shard(k));
+  }
+  NodeId GroupNode(NodeId slot) const { return slot / num_shards_; }
+
+  // Broadcast-ops fan-out of scratch_.broadcast_keys (and, for pushes,
+  // scratch_.broadcast_vals -- consumed) to every peer node, split per
+  // server shard so each message stays shard-pure. Each shard's push
+  // payload is shared across peers (zero-copy fan-out).
+  void BroadcastOp(net::MsgType type, uint64_t op, bool traced);
+
   // Sends the grouped scratch (scratch_.groups + scratch_.key_offsets,
   // filled by the caller) as tracked cumulative pushes, one message per
   // destination. Returns the op handle (kImmediate when empty). Used by
@@ -221,6 +237,7 @@ class Worker {
   Rng rng_;
   bool fast_local_;
   bool dpa_enabled_;
+  NodeId num_shards_;  // server shards per node (Config::server_threads)
   Val* dense_base_;  // non-null iff the node store is dense
   // The node's replica store (null unless config.replication): consulted
   // on the pull path after the owned check fails, so replicated contended

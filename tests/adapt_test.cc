@@ -515,7 +515,7 @@ TEST(AdaptiveEngineTest, ColdKeysAreEvictedBackHome) {
   EXPECT_EQ(system.OwnerOf(hot_then_cold), 1)
       << "engine did not evict the cold key back to its home";
   EXPECT_GT(system.placement_manager(0).stats().evictions_issued, 0);
-  EXPECT_GT(system.node_stats(1).evictions_received.count(), 0);
+  EXPECT_GT(system.NodeEvictionsReceived(1), 0);
 }
 
 TEST(AdaptiveEngineTest, ContendedReadMostlyKeyIsFlaggedAndHookRuns) {
@@ -663,7 +663,7 @@ TEST(EvictTest, EvictedKeyReturnsHomeWithValueIntact) {
   system.GetValue(k, buf.data());
   EXPECT_EQ(buf[0], 1.0f);
   EXPECT_EQ(buf[3], 4.0f);
-  EXPECT_EQ(system.node_stats(1).evictions_received.count(), 1);
+  EXPECT_EQ(system.NodeEvictionsReceived(1), 1);
 }
 
 TEST(EvictTest, EvictRacingLocalizeKeepsProtocolAliveAndUpdatesExact) {

@@ -50,6 +50,27 @@ TEST(ConfigValidationDeathTest, ZeroLengthValueDies) {
   EXPECT_DEATH(cfg.Normalize(), "value_lengths");
 }
 
+TEST(ConfigValidationDeathTest, ZeroServerThreadsDies) {
+  ps::Config cfg = ValidConfig();
+  cfg.server_threads = 0;
+  EXPECT_DEATH(cfg.Normalize(), "server_threads");
+}
+
+TEST(ConfigValidationDeathTest, TooManyServerThreadsDies) {
+  ps::Config cfg = ValidConfig();
+  cfg.server_threads = 65;  // shard indices are bytes; hard cap is 64
+  EXPECT_DEATH(cfg.Normalize(), "server_threads");
+}
+
+TEST(ConfigValidationTest, OversubscribedServerThreadsWarnsButPasses) {
+  // More drain threads than hardware threads is allowed (it only warns):
+  // correctness never depends on real parallelism.
+  ps::Config cfg = ValidConfig();
+  cfg.server_threads = 64;
+  cfg.Normalize();
+  EXPECT_EQ(cfg.server_threads, 64);
+}
+
 TEST(ConfigValidationDeathTest, ZeroLatchesDies) {
   ps::Config cfg = ValidConfig();
   cfg.num_latches = 0;

@@ -29,6 +29,7 @@ struct SweepParam {
   StorageKind storage;
   bool caches;
   bool latency;  // zero vs small LAN latency
+  int server_threads = 1;  // server drain threads (key-range shards)
 };
 
 std::string SweepName(const ::testing::TestParamInfo<SweepParam>& info) {
@@ -39,6 +40,9 @@ std::string SweepName(const ::testing::TestParamInfo<SweepParam>& info) {
   s += StorageKindName(p.storage);
   if (p.caches) s += "Cached";
   if (p.latency) s += "Lan";
+  if (p.server_threads > 1) {
+    s += "S" + std::to_string(p.server_threads);
+  }
   return s;
 }
 
@@ -62,6 +66,7 @@ class PsPropertyTest : public ::testing::TestWithParam<SweepParam> {
       cfg.latency = net::LatencyConfig::Zero();
     }
     cfg.latency.idle_spin_ns = 20'000;  // keep test CPU usage sane
+    cfg.server_threads = p.server_threads;
     return cfg;
   }
 };
@@ -170,7 +175,17 @@ INSTANTIATE_TEST_SUITE_P(
         SweepParam{5, 2, Architecture::kLapse, StorageKind::kDense, false,
                    false},
         SweepParam{8, 1, Architecture::kLapse, StorageKind::kDense, true,
-                   false}),
+                   false},
+        // Sharded-server sweeps: same invariants with 4 drain threads per
+        // node (keyed messages fan out across per-shard inboxes).
+        SweepParam{2, 2, Architecture::kLapse, StorageKind::kDense, false,
+                   false, 4},
+        SweepParam{3, 2, Architecture::kLapse, StorageKind::kSparse, false,
+                   false, 4},
+        SweepParam{4, 2, Architecture::kLapse, StorageKind::kDense, true,
+                   true, 4},
+        SweepParam{2, 2, Architecture::kClassic, StorageKind::kDense, false,
+                   false, 4}),
     SweepName);
 
 // Relocation-specific properties under a hostile interleaving: every node
@@ -234,6 +249,10 @@ TEST(ReplicaSchedulePropertyTest, AggregatedPushesConserveUnderRandomSchedules) 
     cfg.arch = Architecture::kLapse;
     cfg.latency = net::LatencyConfig::Zero();
     cfg.latency.idle_spin_ns = 0;
+    // Half the schedules drain each node with 4 sharded server threads:
+    // the fold/flush/invalidate races must conserve regardless of how
+    // keys spread over drain threads.
+    cfg.server_threads = (schedule % 2 == 0) ? 1 : 4;
     cfg.replication = true;
     cfg.replica_staleness_micros = 50'000'000;
     // Tight flush triggers so trigger-driven flushes interleave with the

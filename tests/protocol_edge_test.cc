@@ -210,6 +210,50 @@ TEST(ProtocolEdgeTest, LocalizeWaitersCoalesceOnSameNode) {
   });
 }
 
+TEST(ProtocolEdgeTest, ImmediatePushArrivingMidRelocationIsQueuedNotDropped) {
+  // Regression: a fire-and-forget push (op_id == kImmediate, no ack owed)
+  // that reaches a key in state kArriving must queue on the arrival queue
+  // and be applied by DrainArrived -- the skip-ack handling must never
+  // skip the *apply*. The deterministic trigger: the home holds a replica
+  // of k with pending write folds and a third node localizes k. The home
+  // updates its owner view to the requester BEFORE invalidating holders,
+  // so its inline fold-forward (an immediate push) goes straight to the
+  // requester one hop ahead of the transfer (which still has to bounce
+  // through the old owner) -- it always lands inside the requester's
+  // kArriving window. Dropping it would lose the folded update.
+  Config cfg = EdgeConfig(3, 1);
+  cfg.replication = true;
+  cfg.replica_write_aggregation = true;
+  cfg.replica_staleness_micros = 60'000'000;
+  cfg.replica_flush_micros = 60'000'000;  // folds stay pending until
+  cfg.replica_flush_max_folds = 1'000'000;  // the invalidation drains them
+  PsSystem system(cfg);
+  const Key k = 2;  // homed at node 0
+
+  system.Run([&](Worker& w) {
+    // Phase A: node 1 takes the key away from its home.
+    if (w.node() == 1) w.Localize({k});
+    w.Barrier();
+    // Phase B: the home pins a replica and folds one update into it. With
+    // aggregation on, the update exists ONLY as a pending fold here.
+    if (w.node() == 0) {
+      EXPECT_EQ(w.Replicate({k}), 1u);
+      const std::vector<Val> upd = {1.0f, 4.0f};
+      w.Push({k}, upd.data());
+    }
+    w.Barrier();
+    // Phase C: node 2 steals the key. The home's fold-forward races (and
+    // beats) the transfer to node 2.
+    if (w.node() == 2) w.Localize({k});
+  });
+
+  EXPECT_EQ(system.OwnerOf(k), 2);
+  std::vector<Val> buf(2);
+  system.GetValue(k, buf.data());
+  EXPECT_FLOAT_EQ(buf[0], 1.0f);  // the forwarded fold was applied,
+  EXPECT_FLOAT_EQ(buf[1], 4.0f);  // exactly once
+}
+
 TEST(ProtocolEdgeTest, HomeNodeLocalizeLoopback) {
   // Localizing a key whose *home* is the requesting node (but owned
   // elsewhere) exercises the loop-back localize message.

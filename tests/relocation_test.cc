@@ -219,7 +219,7 @@ TEST(RelocationTest, ConflictCounterSeesContention) {
   // still arriving) are effectively certain.
   int64_t conflicts = 0;
   for (NodeId n = 0; n < 4; ++n) {
-    conflicts += system.node_stats(n).localization_conflicts.count();
+    conflicts += system.NodeLocalizationConflicts(n);
   }
   EXPECT_GE(conflicts, 0);  // smoke: counter exists and does not crash
   std::vector<Val> buf(2);

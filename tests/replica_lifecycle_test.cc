@@ -404,7 +404,7 @@ TEST(ReplicaUnpinPathTest, UnreplicateFlushesShrinksDirectoryAndRelocates) {
   EXPECT_EQ(system.OwnerOf(k), 0);
   EXPECT_EQ(system.replica_manager(0)->stats().invalidations, 0);
   // The home recorded exactly one unregistration.
-  EXPECT_EQ(system.node_stats(1).replica_unregisters.sum(), 1);
+  EXPECT_EQ(system.NodeReplicaUnregisters(1), 1);
   std::vector<Val> final(4);
   system.GetValue(k, final.data());
   EXPECT_FLOAT_EQ(final[0], 3.0f);
@@ -470,7 +470,12 @@ TEST(ReplicaUnpinPathTest, PolicyUnpinsWriteHeavyKeyEndToEnd) {
 // every fold exactly once: the settled owner value equals the sum of all
 // acked pushes, across every interleaving of flush and invalidation.
 TEST(ReplicaFlushChurnStressTest, NoFoldLostAcrossInvalidateOnMove) {
+  // Once per server sharding level: the drain-confinement of the sharded
+  // server must preserve the exactly-once fold delivery too.
+  for (const int server_threads : {1, 4}) {
+  SCOPED_TRACE("server_threads=" + std::to_string(server_threads));
   ps::Config cfg;
+  cfg.server_threads = server_threads;
   cfg.num_nodes = 3;
   cfg.workers_per_node = 1;
   cfg.num_keys = 64;
@@ -537,6 +542,7 @@ TEST(ReplicaFlushChurnStressTest, NoFoldLostAcrossInvalidateOnMove) {
   EXPECT_GT(rs.folds, 0);
   EXPECT_GT(rs.flushed_keys, 0);
   EXPECT_GT(rs.invalidations, 0);
+  }
 }
 
 }  // namespace
