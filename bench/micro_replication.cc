@@ -28,6 +28,16 @@
 // (isolating aggregation from detection), aggregation on vs off. The
 // "owner-bound messages" rows count kPush messages on the wire during the
 // measure phase -- Petuum-style accumulators must cut them by >= 2x.
+//
+// A third suite measures ADAPTIVE FLUSH SIZING on a skewed-write mix:
+// writes are Zipf-concentrated on the pinned hot set, so per-key write
+// rates span two orders of magnitude. A flat flush cap must sit at the
+// floor (a single cap serving the coldest writer's freshness), paying a
+// flush per few folds even on the hottest keys; adaptive sizing scales
+// each pinned key's cap with its observed write rate between the floor
+// and the global cap, so hot writers batch deep while cold writers keep
+// flushing promptly. Rows: owner-bound kPush messages, flat-floor vs
+// adaptive (reduction bar >= 1.5).
 
 #include <cstdio>
 #include <cstdlib>
@@ -243,6 +253,100 @@ WriteHeavyResult RunWriteHeavy(double write_frac, bool aggregation) {
   return result;
 }
 
+// ---- skewed-write suite: adaptive flush sizing vs flat floor -----------
+
+constexpr uint32_t kFlushFloor = 4;
+constexpr uint32_t kFlushGlobalCap = 32;
+
+struct AdaptiveFlushResult {
+  double steady_ops_per_sec = 0;
+  int64_t owner_push_msgs = 0;  // kPush messages during the measure phase
+  double hot_key_cap = 0;       // node 0's learned cap for the hottest key
+};
+
+AdaptiveFlushResult RunSkewedWrites(double write_frac, bool adaptive) {
+  ps::Config cfg = BenchConfig(/*replication=*/true);
+  // The adaptive engine runs ONLY as the flush-cap learner: localization
+  // is priced out (hot_threshold astronomical) and pins never lapse
+  // (cold_threshold 0 keeps every pinned key "warm",
+  // unreplicate_read_fraction 0 makes any warm pin pay for itself), so
+  // the manually pinned hot set stays exactly as placed and the two runs
+  // differ only in adaptive_flush.
+  cfg.adaptive.hot_threshold = 1e18;
+  cfg.adaptive.cold_threshold = 0.0;
+  cfg.adaptive.unreplicate_read_fraction = 0.0;
+  cfg.adaptive.adaptive_flush = adaptive;
+  cfg.adaptive.flush_folds_floor = kFlushFloor;
+  // Flat run: the single global cap must serve the coldest pinned writer,
+  // so it sits at the floor. Adaptive run: caps scale per key up to the
+  // real global cap.
+  cfg.replica_flush_max_folds = adaptive ? kFlushGlobalCap : kFlushFloor;
+  // Age trigger well above the hot keys' fold cadence, so the count cap
+  // under test -- not the timer -- sets their flush rate (identical in
+  // both runs; cold keys hit the timer either way).
+  cfg.replica_flush_micros = 50'000;
+  ps::PsSystem system(cfg);
+  // Reads roam the full Zipf key space; writes are Zipf over the pinned
+  // hot set only (the skew the suite is about).
+  const ZipfSampler read_zipf(kKeys, kZipfExponent);
+  const ZipfSampler write_zipf(kPinnedRanks, kZipfExponent);
+  const int total_rounds = kWriteWarmupRounds + kWriteMeasureRounds;
+  AdaptiveFlushResult result;
+  std::vector<double> round_secs(total_rounds, 0.0);
+  int64_t push_msgs_at_measure_start = 0;
+
+  system.Run([&](ps::Worker& w) {
+    const NodeId node = w.node();
+    Rng& rng = w.rng();
+    std::vector<Val> buf(kLen);
+    std::vector<Val> upd(kLen, 0.01f);
+    std::vector<Key> one(1);
+    std::vector<Key> hot;
+    for (uint64_t r = 0; r < kPinnedRanks; ++r) hot.push_back(KeyFor(r));
+    w.Replicate(hot);
+    w.Barrier();  // every node pinned before anyone measures
+    Timer round_timer;
+
+    for (int round = 0; round < total_rounds; ++round) {
+      w.Barrier();
+      if (round == kWriteWarmupRounds) {
+        if (node == 0) {
+          push_msgs_at_measure_start =
+              system.net_stats().MessagesOfType(net::MsgType::kPush);
+        }
+        w.Barrier();
+      }
+      if (node == 0) round_timer.Restart();
+      for (int64_t i = 0; i < kOpsPerRound; ++i) {
+        if (rng.Bernoulli(write_frac)) {
+          one[0] = KeyFor(write_zipf.Sample(rng));
+          w.Push(one, upd.data());
+        } else {
+          one[0] = KeyFor(read_zipf.Sample(rng));
+          w.Pull(one, buf.data());
+        }
+      }
+      w.Barrier();
+      if (node == 0) round_secs[round] = round_timer.ElapsedSeconds();
+    }
+  });
+
+  const double per_round_ops =
+      static_cast<double>(kOpsPerRound * kNodes * kWorkersPerNode);
+  double steady_secs = 0;
+  for (int r = kWriteWarmupRounds; r < total_rounds; ++r) {
+    steady_secs += round_secs[r];
+  }
+  result.steady_ops_per_sec =
+      per_round_ops * kWriteMeasureRounds / steady_secs;
+  result.owner_push_msgs =
+      system.net_stats().MessagesOfType(net::MsgType::kPush) -
+      push_msgs_at_measure_start;
+  result.hot_key_cap =
+      static_cast<double>(system.replica_manager(0)->FlushCap(KeyFor(0)));
+  return result;
+}
+
 }  // namespace
 }  // namespace lapse
 
@@ -308,6 +412,32 @@ int main(int argc, char** argv) {
   std::printf("owner-bound message reduction: %.2fx (bar >= 2)\n",
               reduction);
 
+  std::printf(
+      "skewed-write mix (write-frac %.2f on pinned hot set), flat "
+      "cap=floor=%u...\n",
+      write_frac, kFlushFloor);
+  const AdaptiveFlushResult flat =
+      RunSkewedWrites(write_frac, /*adaptive=*/false);
+  std::printf("  [flat]     steady %.0f ops/s, %lld owner-bound push msgs\n",
+              flat.steady_ops_per_sec,
+              static_cast<long long>(flat.owner_push_msgs));
+  std::printf("skewed-write mix, adaptive flush sizing (floor %u, cap %u)...\n",
+              kFlushFloor, kFlushGlobalCap);
+  const AdaptiveFlushResult adapt =
+      RunSkewedWrites(write_frac, /*adaptive=*/true);
+  std::printf(
+      "  [adaptive] steady %.0f ops/s, %lld owner-bound push msgs, "
+      "hottest key's learned cap %.0f\n",
+      adapt.steady_ops_per_sec,
+      static_cast<long long>(adapt.owner_push_msgs), adapt.hot_key_cap);
+  const double flush_reduction =
+      adapt.owner_push_msgs > 0
+          ? static_cast<double>(flat.owner_push_msgs) /
+                static_cast<double>(adapt.owner_push_msgs)
+          : 0.0;
+  std::printf("adaptive-flush message reduction: %.2fx (bar >= 1.5)\n",
+              flush_reduction);
+
   const std::vector<bench::JsonMetric> metrics = {
       {"throughput", on.steady_ops_per_sec, off.steady_ops_per_sec},
       {"replica_reads", static_cast<double>(on.replica_reads), 0.0},
@@ -321,6 +451,14 @@ int main(int argc, char** argv) {
       {"write_owner_msgs", static_cast<double>(agg_on.owner_push_msgs),
        static_cast<double>(agg_off.owner_push_msgs)},
       {"write_owner_msg_reduction", reduction, 2.0},
+      // Skewed-write rows: value = adaptive flush sizing, baseline = flat
+      // cap at the floor. The acceptance bar is reduction >= 1.5.
+      {"adaptive_flush_owner_msgs",
+       static_cast<double>(adapt.owner_push_msgs),
+       static_cast<double>(flat.owner_push_msgs)},
+      {"adaptive_flush_msg_reduction", flush_reduction, 1.5},
+      {"adaptive_flush_hot_key_cap", adapt.hot_key_cap,
+       static_cast<double>(kFlushGlobalCap)},
   };
   if (!bench::WriteBenchJson("BENCH_replication.json", "micro_replication",
                              metrics)) {

@@ -18,6 +18,11 @@
 //   tail_frac_{queueing,relocation,replica_miss}
 //                                -- fractions of sampled p99+ ops
 //   finalized_ops                -- sampled timelines stitched end-to-end
+//   p99_us_coalescing            -- p99 of a second pass with request
+//                                   coalescing on; sync ops drain their
+//                                   batch immediately, so this must stay
+//                                   within the delay knob's 2x bound of
+//                                   the uncoalesced p99 (its baseline)
 //
 // Side artifacts (consumed by CI and chrome://tracing):
 //   BENCH_tail_latency_metrics.json -- full metrics-registry snapshot,
@@ -89,6 +94,52 @@ ps::Config BenchConfig() {
   return cfg;
 }
 
+// The serving workload: Zipf point reads with 5% writes, latency of each
+// sync op into a per-worker histogram, merged after the run (the merge
+// path is exactly what a sharded deployment would do). Shared between
+// the primary pass and the coalescing-on comparison pass.
+obs::HistogramSummary RunWorkload(ps::PsSystem& system) {
+  const ZipfSampler zipf(kKeys, kZipfExponent);
+  const int total_rounds = kWarmupRounds + kMeasureRounds;
+  std::vector<obs::Histogram> lat(kNodes * kWorkersPerNode);
+
+  system.Run([&](ps::Worker& w) {
+    obs::Histogram& h = lat[static_cast<size_t>(w.worker_id())];
+    Rng& rng = w.rng();
+    std::vector<Val> buf(kLen);
+    std::vector<Val> upd(kLen, 0.01f);
+    std::vector<Key> one(1);
+
+    for (int round = 0; round < total_rounds; ++round) {
+      w.Barrier();
+      const bool measured = round >= kWarmupRounds;
+      const int64_t r0 = NowNanos();
+      for (int64_t i = 0; i < kOpsPerRound; ++i) {
+        one[0] = KeyFor(zipf.Sample(rng));
+        const int64_t t0 = NowNanos();
+        if (i % kPushEvery == 0) {
+          w.Push(one, upd.data());
+        } else {
+          w.Pull(one, buf.data());
+        }
+        if (measured) h.Add(NowNanos() - t0);
+      }
+      w.Barrier();
+      if (w.worker_id() == 0) {
+        std::printf("  round %d (%s): %.0f ops/s/worker\n", round,
+                    measured ? "measure" : "warmup",
+                    static_cast<double>(kOpsPerRound) /
+                        (static_cast<double>(NowNanos() - r0) * 1e-9));
+        std::fflush(stdout);
+      }
+    }
+  });
+
+  obs::Histogram merged;
+  for (const obs::Histogram& h : lat) merged.MergeFrom(h);
+  return merged.Summarize();
+}
+
 void PrintBacklogOffenders(ps::PsSystem& system) {
   struct Offender {
     NodeId node;
@@ -132,48 +183,7 @@ int Main() {
       "replication on, op sampling 1/16");
 
   ps::PsSystem system(BenchConfig());
-  const ZipfSampler zipf(kKeys, kZipfExponent);
-  const int total_rounds = kWarmupRounds + kMeasureRounds;
-
-  // One client-latency histogram per worker, merged after the run (the
-  // merge path is exactly what a sharded deployment would do).
-  std::vector<obs::Histogram> lat(kNodes * kWorkersPerNode);
-
-  system.Run([&](ps::Worker& w) {
-    obs::Histogram& h = lat[static_cast<size_t>(w.worker_id())];
-    Rng& rng = w.rng();
-    std::vector<Val> buf(kLen);
-    std::vector<Val> upd(kLen, 0.01f);
-    std::vector<Key> one(1);
-
-    for (int round = 0; round < total_rounds; ++round) {
-      w.Barrier();
-      const bool measured = round >= kWarmupRounds;
-      const int64_t r0 = NowNanos();
-      for (int64_t i = 0; i < kOpsPerRound; ++i) {
-        one[0] = KeyFor(zipf.Sample(rng));
-        const int64_t t0 = NowNanos();
-        if (i % kPushEvery == 0) {
-          w.Push(one, upd.data());
-        } else {
-          w.Pull(one, buf.data());
-        }
-        if (measured) h.Add(NowNanos() - t0);
-      }
-      w.Barrier();
-      if (w.worker_id() == 0) {
-        std::printf("  round %d (%s): %.0f ops/s/worker\n", round,
-                    measured ? "measure" : "warmup",
-                    static_cast<double>(kOpsPerRound) /
-                        (static_cast<double>(NowNanos() - r0) * 1e-9));
-        std::fflush(stdout);
-      }
-    }
-  });
-
-  obs::Histogram merged;
-  for (const obs::Histogram& h : lat) merged.MergeFrom(h);
-  const obs::HistogramSummary cs = merged.Summarize();
+  const obs::HistogramSummary cs = RunWorkload(system);
   std::printf(
       "client latency over %lld measured ops:\n"
       "  p50 %8.1f us   p95 %8.1f us   p99 %8.1f us   p999 %8.1f us   "
@@ -223,6 +233,32 @@ int Main() {
 
   PrintBacklogOffenders(system);
 
+  // Comparison pass: same workload with request coalescing on. Sync ops
+  // Wait their own handle, which force-drains the held batch, so the
+  // coalescer must not move the tail: the contract is p99 within the
+  // uncoalesced p99 plus 2x the delay knob. Obs stays off here so this
+  // pass cannot clobber the primary pass's metrics/trace artifacts.
+  constexpr int64_t kCoalesceDelayMicros = 200;
+  ps::Config coal_cfg = BenchConfig();
+  coal_cfg.coalescing = true;
+  coal_cfg.coalesce_max_ops = 16;
+  coal_cfg.coalesce_delay_micros = kCoalesceDelayMicros;
+  coal_cfg.obs.enabled = false;
+  coal_cfg.obs.metrics_json_path.clear();
+  coal_cfg.obs.trace_path.clear();
+  obs::HistogramSummary ccs;
+  {
+    ps::PsSystem coal_system(coal_cfg);
+    ccs = RunWorkload(coal_system);
+  }
+  std::printf(
+      "coalescing-on pass: p50 %8.1f us   p99 %8.1f us   (uncoalesced p99 "
+      "%.1f us + 2x delay bound %.0f us)\n",
+      static_cast<double>(ccs.p50) * 1e-3,
+      static_cast<double>(ccs.p99) * 1e-3,
+      static_cast<double>(cs.p99) * 1e-3,
+      2.0 * static_cast<double>(kCoalesceDelayMicros));
+
   std::vector<bench::JsonMetric> metrics;
   metrics.push_back({"p50_us", static_cast<double>(cs.p50) * 1e-3, 0.0});
   metrics.push_back({"p99_us", static_cast<double>(cs.p99) * 1e-3, 0.0});
@@ -232,6 +268,8 @@ int Main() {
   metrics.push_back({"tail_frac_replica_miss", frac_miss, 0.0});
   metrics.push_back(
       {"finalized_ops", static_cast<double>(records.size()), 0.0});
+  metrics.push_back({"p99_us_coalescing", static_cast<double>(ccs.p99) * 1e-3,
+                     static_cast<double>(cs.p99) * 1e-3});
   if (!bench::WriteBenchJson("BENCH_tail_latency.json", "micro_tail_latency",
                              metrics)) {
     return 1;

@@ -13,7 +13,10 @@ PlacementManager::PlacementManager(ps::NodeContext* ctx,
                                    net::Network* network)
     : ctx_(ctx),
       network_(network),
-      policy_(ctx->config->adaptive, ctx->node) {
+      policy_(ctx->config->adaptive, ctx->node,
+              ctx->config->replication
+                  ? ctx->config->replica_flush_max_folds
+                  : 0) {
   LAPSE_CHECK(ctx_->access_stats != nullptr)
       << "PlacementManager needs the node's AccessStats";
   thread_ = std::thread([this] { Loop(); });
@@ -145,6 +148,7 @@ void PlacementManager::Tick() {
   decisions_scratch_.evict.clear();
   decisions_scratch_.replicate.clear();
   decisions_scratch_.unreplicate.clear();
+  decisions_scratch_.flush_caps.clear();
   const ps::NodeContext* ctx = ctx_;
   policy_.Tick(
       [ctx](Key k) { return ctx->StateOf(k) == ps::KeyState::kOwned; },
@@ -188,6 +192,14 @@ void PlacementManager::Tick() {
         static_cast<int64_t>(decisions_scratch_.replicate.size()),
         std::memory_order_relaxed);
     if (hook) hook(decisions_scratch_.replicate);
+  }
+  if (!decisions_scratch_.flush_caps.empty() && ctx_->replicas != nullptr) {
+    // Adaptive flush sizing: install this window's per-key count triggers.
+    // Applied before unreplication so a cap for a key unpinned in the same
+    // tick is wiped with the pin (Pin resets caps on any re-pin).
+    for (const auto& [k, cap] : decisions_scratch_.flush_caps) {
+      ctx_->replicas->SetFlushCap(k, cap);
+    }
   }
   if (!decisions_scratch_.unreplicate.empty() &&
       ctx_->replicas != nullptr) {

@@ -1,5 +1,7 @@
 #include "adapt/placement_policy.h"
 
+#include <algorithm>
+
 namespace lapse {
 namespace adapt {
 
@@ -18,8 +20,8 @@ const char* KeyClassName(KeyClass c) {
 }
 
 PlacementPolicy::PlacementPolicy(const ps::AdaptiveConfig& config,
-                                 NodeId node)
-    : config_(config), node_(node) {}
+                                 NodeId node, uint32_t flush_cap_global)
+    : config_(config), node_(node), flush_cap_global_(flush_cap_global) {}
 
 void PlacementPolicy::Record(Key k, bool is_write) {
   ++pending_samples_;
@@ -117,6 +119,21 @@ void PlacementPolicy::Tick(const std::function<bool(Key)>& owned,
       const bool paying =
           score >= config_.cold_threshold &&
           read_fraction >= config_.unreplicate_read_fraction;
+      // Adaptive flush sizing: scale this window's count trigger with the
+      // observed write rate. min(1, writes / flush_saturation_score) maps
+      // a write-cold key to the floor (prompt flushes) and a saturated
+      // writer to the global cap (maximal aggregation); emitted every
+      // closed window so the cap tracks the workload as it shifts.
+      if (config_.adaptive_flush && flush_cap_global_ > 0) {
+        const double sat = std::min(
+            1.0, static_cast<double>(s.writes) /
+                     config_.flush_saturation_score);
+        const uint32_t floor_cap = config_.flush_folds_floor;
+        out->flush_caps.emplace_back(
+            k, floor_cap + static_cast<uint32_t>(
+                               sat * static_cast<double>(flush_cap_global_ -
+                                                         floor_cap)));
+      }
       if (paying) {
         s.replica_cold_ticks = 0;
       } else if (++s.replica_cold_ticks >=

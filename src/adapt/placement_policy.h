@@ -35,6 +35,14 @@ struct Decisions {
   // wiped here, so they are immediately eligible for localize (and
   // re-replication) again.
   std::vector<Key> unreplicate;
+  // Adaptive flush sizing (AdaptiveConfig::adaptive_flush): per pinned
+  // key, the count trigger the ReplicaManager should use until the next
+  // window closes -- scaled between flush_folds_floor and the global
+  // replica_flush_max_folds by the key's observed write rate. Hot writers
+  // earn deep accumulators (fewer owner round-trips per write); cold
+  // writers keep the floor so their occasional fold still flushes
+  // promptly instead of waiting out the age trigger.
+  std::vector<std::pair<Key, uint32_t>> flush_caps;
 };
 
 // Per-node placement policy: decaying per-key access scores, hot/cold
@@ -62,7 +70,11 @@ struct Decisions {
 // policy-driven relocation idempotent across ticks.
 class PlacementPolicy {
  public:
-  PlacementPolicy(const ps::AdaptiveConfig& config, NodeId node);
+  // `flush_cap_global` is Config::replica_flush_max_folds, the ceiling of
+  // adaptive flush sizing; 0 disables flush-cap decisions even when
+  // config.adaptive_flush is set (no replication configured).
+  PlacementPolicy(const ps::AdaptiveConfig& config, NodeId node,
+                  uint32_t flush_cap_global = 0);
 
   // Accounts one sampled access of key k by a local worker.
   void Record(Key k, bool is_write);
@@ -136,6 +148,7 @@ class PlacementPolicy {
 
   ps::AdaptiveConfig config_;
   NodeId node_;
+  uint32_t flush_cap_global_;
   int64_t ticks_ = 0;  // closed windows, not Tick() calls
   // Samples recorded since the last window close (gates the next close).
   uint64_t pending_samples_ = 0;

@@ -93,6 +93,10 @@ const char* MsgTypeName(MsgType type) {
       return "SspPushUpdates";
     case MsgType::kBlockTransfer:
       return "BlockTransfer";
+    case MsgType::kBatchOp:
+      return "BatchOp";
+    case MsgType::kBatchResp:
+      return "BatchResp";
     case MsgType::kShutdown:
       return "Shutdown";
     case MsgType::kNumTypes:

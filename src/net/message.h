@@ -45,6 +45,9 @@ enum class MsgType : uint8_t {
   kSspPushUpdates,    // server-sync mode: owner pushes values to readers
   // -- low-level matrix factorization baseline (Section 4.4) ------------
   kBlockTransfer,     // raw factor block handed node-to-node
+  // -- bounded-delay request coalescing (ps::Coalescer) ------------------
+  kBatchOp,           // worker coalescer -> server: multi-op pull/push batch
+  kBatchResp,         // server -> origin: batched responses/acks
   // -- control -----------------------------------------------------------
   kShutdown,          // terminate a server loop
   kNumTypes

@@ -33,8 +33,8 @@ Observability::Observability(const ObsConfig& config, int num_nodes,
             ".latency_ns",
         &op_latency_[k]);
   }
-  for (const Phase p :
-       {Phase::kLocal, Phase::kQueue, Phase::kNet, Phase::kRelocStall}) {
+  for (const Phase p : {Phase::kLocal, Phase::kQueue, Phase::kNet,
+                        Phase::kRelocStall, Phase::kCoalesceWait}) {
     registry_.AddHistogram(
         std::string("obs.phase.") + PhaseName(p) + ".ns",
         &phase_duration_[static_cast<size_t>(p)]);
@@ -42,6 +42,8 @@ Observability::Observability(const ObsConfig& config, int num_nodes,
   registry_.AddHistogram("obs.replica.read_age_ns", &replica_read_age_);
   registry_.AddHistogram("obs.net.inbox_depth", &inbox_depth_);
   registry_.AddHistogram("obs.adapt.tick_ns", &adapt_tick_);
+  registry_.AddHistogram("obs.coalesce.batch_size", &coalesce_batch_size_);
+  registry_.AddHistogram("obs.coalesce.wait_ns", &coalesce_wait_ns_);
   registry_.AddGauge("obs.finalized_ops", [this] { return finalized_ops(); });
   registry_.AddGauge("obs.orphaned_ops", [this] { return orphaned_ops(); });
   registry_.AddGauge("obs.dropped_events", [this] { return dropped_events(); });
@@ -135,6 +137,9 @@ void Observability::ApplyEvent(const TraceEvent& ev) {
     case Phase::kReplicaRefresh:
       ++p.rec.replica_refreshes;
       break;
+    case Phase::kCoalesceWait:
+      p.rec.coalesce_ns += ev.t_ns;
+      break;
     case Phase::kComplete:
       p.rec.complete_ns = ev.t_ns;
       p.have_complete = true;
@@ -164,6 +169,10 @@ void Observability::FinalizeLocked() {
         if (r.reloc_ns > 0) {
           phase_duration_[static_cast<size_t>(Phase::kRelocStall)].Add(
               r.reloc_ns);
+        }
+        if (r.coalesce_ns > 0) {
+          phase_duration_[static_cast<size_t>(Phase::kCoalesceWait)].Add(
+              r.coalesce_ns);
         }
         if (trace_buf_.size() < config_.max_trace_records) {
           trace_buf_.push_back(r);
@@ -224,6 +233,7 @@ bool Observability::WriteChromeTrace(const std::string& path) const {
         "%s\n{\"name\": \"%s\", \"ph\": \"X\", \"pid\": %d, \"tid\": %d, "
         "\"ts\": %.3f, \"dur\": %.3f, \"args\": {\"local_us\": %.3f, "
         "\"queue_us\": %.3f, \"net_us\": %.3f, \"reloc_stall_us\": %.3f, "
+        "\"coalesce_wait_us\": %.3f, "
         "\"hops\": %u, \"replica_misses\": %u, \"replica_refreshes\": %u}}",
         first ? "" : ",", OpKindName(r.kind), static_cast<int>(r.node()),
         static_cast<int>(r.thread()),
@@ -232,8 +242,9 @@ bool Observability::WriteChromeTrace(const std::string& path) const {
         static_cast<double>(r.local_ns) / 1000.0,
         static_cast<double>(r.queue_ns) / 1000.0,
         static_cast<double>(r.net_ns) / 1000.0,
-        static_cast<double>(r.reloc_ns) / 1000.0, r.hops, r.replica_misses,
-        r.replica_refreshes);
+        static_cast<double>(r.reloc_ns) / 1000.0,
+        static_cast<double>(r.coalesce_ns) / 1000.0, r.hops,
+        r.replica_misses, r.replica_refreshes);
     first = false;
   }
   std::fputs("\n]\n", f);

@@ -30,6 +30,7 @@ struct OpRecord {
   int64_t queue_ns = 0;   // summed server inbox wait across hops
   int64_t net_ns = 0;     // summed simulated wire time across hops
   int64_t reloc_ns = 0;   // summed relocation-stall time
+  int64_t coalesce_ns = 0;  // held in the request coalescer before send
   uint32_t hops = 0;      // server handlings this op's messages paid
   uint32_t replica_misses = 0;
   uint32_t replica_refreshes = 0;
@@ -74,10 +75,13 @@ class Observability {
     return phase_duration_[static_cast<size_t>(phase)];
   }
   // Fed by hooks outside the op tracer: replica copy age at read time,
-  // inbox depth after each Put, placement-manager tick duration.
+  // inbox depth after each Put, placement-manager tick duration, and the
+  // per-batch size / per-sub-op wait of the request coalescers.
   Histogram& ReplicaReadAge() { return replica_read_age_; }
   Histogram& InboxDepth() { return inbox_depth_; }
   Histogram& AdaptTick() { return adapt_tick_; }
+  Histogram& CoalesceBatchSize() { return coalesce_batch_size_; }
+  Histogram& CoalesceWaitNs() { return coalesce_wait_ns_; }
 
   // Starts the collector thread (idempotent).
   void Start();
@@ -141,6 +145,8 @@ class Observability {
   Histogram replica_read_age_;
   Histogram inbox_depth_;
   Histogram adapt_tick_;
+  Histogram coalesce_batch_size_;
+  Histogram coalesce_wait_ns_;
 
   MetricsRegistry registry_;
 

@@ -19,6 +19,8 @@ const char* PhaseName(Phase p) {
       return "replica_miss";
     case Phase::kReplicaRefresh:
       return "replica_refresh";
+    case Phase::kCoalesceWait:
+      return "coalesce_wait";
     case Phase::kComplete:
       return "complete";
     case Phase::kNumPhases:

@@ -24,6 +24,8 @@ enum class Phase : uint8_t {
                     //        relocation until the transfer landed
   kReplicaMiss,     // marker: a pinned replica was too stale to serve
   kReplicaRefresh,  // marker: a pull response re-installed a pinned copy
+  kCoalesceWait,    // t_ns = duration: held in the worker's request
+                    //        coalescer before its batch was released
   kComplete,        // t_ns = completion timestamp
   kNumPhases
 };

@@ -127,6 +127,23 @@ void Config::Validate() const {
            "policy's 16-bit cold-window counter";
     LAPSE_CHECK_GE(adaptive.max_localizes_per_tick, 1u)
         << "Config: adaptive.max_localizes_per_tick must be >= 1";
+    if (adaptive.adaptive_flush) {
+      LAPSE_CHECK(replication && replica_write_aggregation)
+          << "Config: adaptive.adaptive_flush scales the replica flush cap "
+             "per key, so it needs replication with "
+             "replica_write_aggregation on";
+      LAPSE_CHECK_GE(adaptive.flush_folds_floor, 1u)
+          << "Config: adaptive.flush_folds_floor must be >= 1 (a zero floor "
+             "would disable the count trigger for write-cold keys)";
+      LAPSE_CHECK_LE(adaptive.flush_folds_floor, replica_flush_max_folds)
+          << "Config: adaptive.flush_folds_floor must not exceed "
+             "replica_flush_max_folds (the global cap is the adaptive "
+             "range's upper end)";
+      LAPSE_CHECK_GT(adaptive.flush_saturation_score, 0.0)
+          << "Config: adaptive.flush_saturation_score must be positive (it "
+             "is the write score at which a key's cap reaches the global "
+             "maximum)";
+    }
   }
 
   if (obs.enabled) {
@@ -171,6 +188,26 @@ void Config::Validate() const {
              "replica_staleness_micros -- folds held back longer than the "
              "staleness bound would make other holders' replica-served "
              "reads lag the bounded-staleness contract";
+    }
+  }
+
+  if (coalescing) {
+    LAPSE_CHECK_GE(coalesce_max_ops, 1u)
+        << "Config: coalesce_max_ops must be >= 1 (0 would never release a "
+           "batch on the count trigger)";
+    LAPSE_CHECK_LE(coalesce_max_ops, 62u)
+        << "Config: coalesce_max_ops must be <= 62 (each batched key entry "
+           "packs a referencing-op bitmask plus a flag bit into one int64 "
+           "aux word)";
+    LAPSE_CHECK_GT(coalesce_delay_micros, 0)
+        << "Config: coalesce_delay_micros must be positive (it bounds how "
+           "long a queued op may wait before its batch is released)";
+    if (replication) {
+      LAPSE_CHECK_LE(coalesce_delay_micros, replica_staleness_micros)
+          << "Config: coalesce_delay_micros must not exceed "
+             "replica_staleness_micros -- a pull held back longer than the "
+             "staleness bound would re-install replica copies older than "
+             "the bounded-staleness contract implies";
     }
   }
 }

@@ -98,6 +98,18 @@ struct AdaptiveConfig {
   // ops/s and a big machine serving millions. 0 closes a window on every
   // timer tick (the raw pre-auto-tune behaviour).
   uint32_t min_tick_samples = 32;
+  // --- per-key adaptive flush sizing ------------------------------------
+  // Scale each pinned key's replica flush cap (replica_flush_max_folds)
+  // with its observed write rate: hot writers batch up to the global cap,
+  // cold writers flush promptly at the floor. Requires replication with
+  // write aggregation; keys with no tracked samples keep the global cap.
+  bool adaptive_flush = false;
+  // Lower bound of the per-key cap (what a write-cold pinned key gets).
+  uint32_t flush_folds_floor = 4;
+  // Decayed per-window write score at which a key's cap saturates at the
+  // global replica_flush_max_folds; between 0 and this, the cap scales
+  // linearly from flush_folds_floor.
+  double flush_saturation_score = 32.0;
 };
 
 // Configuration of a PS instance (simulated cluster + engine behaviour).
@@ -165,6 +177,28 @@ struct Config {
   // the age trigger has not fired yet. 1 flushes every push (write-through
   // message count, still batched per destination).
   uint32_t replica_flush_max_folds = 32;
+
+  // --- bounded-delay request coalescing (ps::Coalescer) -----------------
+  // Master switch: each worker merges its async pull/push ops destined for
+  // remote shards into per-(destination node, shard) batched wire messages
+  // (net::MsgType::kBatchOp) instead of paying one message per op. A batch
+  // is released by a dual trigger -- coalesce_max_ops queued ops, or the
+  // oldest queued op reaching coalesce_delay_micros -- and Wait/WaitAll
+  // force an immediate drain, so barriers never stall on a held batch.
+  // Off (the default) costs one branch per op on the async paths.
+  bool coalescing = false;
+  // Age trigger: a worker's queued batch is sent once its oldest op has
+  // waited this long (checked at the next op issued by that worker). This
+  // is the explicit batching-vs-latency contract: an async op's completion
+  // may lag an uncoalesced run by up to this bound plus one batch's extra
+  // service time. With replication it must not exceed
+  // replica_staleness_micros, or held pulls could observe (and re-install)
+  // replica copies older than the staleness contract implies.
+  int64_t coalesce_delay_micros = 200;
+  // Count trigger: a batch is sent as soon as it holds this many ops.
+  // Bounded by 62 -- each batched key entry carries a referencing-op
+  // bitmask packed next to a flag bit in one int64 aux word.
+  uint32_t coalesce_max_ops = 16;
 
   // --- observability (src/obs) ------------------------------------------
   // Sampling per-op timeline tracing, latency histograms, and the metrics

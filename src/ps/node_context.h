@@ -11,6 +11,7 @@
 #include "adapt/access_stats.h"
 #include "net/message.h"
 #include "net/network.h"
+#include "obs/histogram.h"
 #include "obs/timeline.h"
 #include "ps/config.h"
 #include "ps/key_layout.h"
@@ -114,6 +115,15 @@ struct ServerStats {
   // cache-line reason.
   Counter replica_key_writes;
   Counter replica_unregisters;
+  // Request coalescing (ps::Coalescer), appended at the end per the rules
+  // above. coalesced_ops counts worker ops that queued at least one key in
+  // the coalescer; coalesce_batches records one Add(n_sub_ops) per batched
+  // wire message, so count = batches and sum = sub-ops (sum/count = mean
+  // batch size); coalesce_forced_drains counts Wait/WaitAll/teardown
+  // drains that actually released a held batch.
+  Counter coalesced_ops;
+  Counter coalesce_batches;
+  Counter coalesce_forced_drains;
   void Reset() {
     local_key_reads.Reset();
     remote_key_reads.Reset();
@@ -127,6 +137,9 @@ struct ServerStats {
     replica_key_reads.Reset();
     replica_key_writes.Reset();
     replica_unregisters.Reset();
+    coalesced_ops.Reset();
+    coalesce_batches.Reset();
+    coalesce_forced_drains.Reset();
   }
 };
 
@@ -151,6 +164,11 @@ struct NodeContext {
   // (owned by the PsSystem's obs::Observability; null unless
   // config.obs.enabled with sample_every > 0).
   obs::NodeObs* obs = nullptr;
+  // Coalescing histograms (owned by the PsSystem's obs::Observability;
+  // null unless obs is enabled). Histogram::Add is lock-free and
+  // multi-producer safe, so every worker's coalescer feeds them directly.
+  obs::Histogram* coalesce_batch_size_hist = nullptr;
+  obs::Histogram* coalesce_wait_ns_hist = nullptr;
 
   // Sharded by key to keep worker queueing and server draining off one
   // mutex.

@@ -19,6 +19,7 @@ ReplicaManager::ReplicaManager(const KeyLayout* layout,
       values_(layout->num_keys()),
       acc_(layout->num_keys()),
       fold_counts_(layout->num_keys(), 0),
+      flush_caps_(layout->num_keys(), 0),
       unacked_writes_(layout->num_keys(), 0),
       write_settled_ns_(layout->num_keys(), 0),
       install_ns_(layout->num_keys()),
@@ -39,6 +40,7 @@ void ReplicaManager::Pin(Key k) {
     acc_[k] = std::make_unique<Val[]>(len);
     std::memset(acc_[k].get(), 0, len * sizeof(Val));
     fold_counts_[k] = 0;
+    flush_caps_[k] = 0;  // every pin starts at the configured cap
   }
   unacked_writes_[k] = 0;
   write_settled_ns_[k] = 0;
@@ -159,7 +161,9 @@ ReplicaManager::FoldOutcome ReplicaManager::FoldWrite(Key k,
       oldest_fold_ns_.store(now, std::memory_order_release);
     }
   }
-  if (fold_counts_[k] >= flush_max_folds_) {
+  const uint32_t cap =
+      flush_caps_[k] != 0 ? flush_caps_[k] : flush_max_folds_;
+  if (fold_counts_[k] >= cap) {
     return FoldOutcome::kFoldedFlushDue;
   }
   const int64_t oldest = oldest_fold_ns_.load(std::memory_order_acquire);
@@ -196,6 +200,16 @@ void ReplicaManager::NoteKeyDrained(Latch& key_latch) {
     // would make the next fold anywhere spuriously report a flush as due.
     oldest_fold_ns_.store(kAbsent, std::memory_order_release);
   }
+}
+
+void ReplicaManager::SetFlushCap(Key k, uint32_t cap) {
+  LatchGuard latch(latches_.ForKey(k));
+  flush_caps_[k] = cap;
+}
+
+uint32_t ReplicaManager::FlushCap(Key k) {
+  LatchGuard latch(latches_.ForKey(k));
+  return flush_caps_[k] != 0 ? flush_caps_[k] : flush_max_folds_;
 }
 
 uint32_t ReplicaManager::PendingFolds(Key k) {

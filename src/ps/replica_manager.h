@@ -148,10 +148,24 @@ class ReplicaManager {
   // the visible copy, if present, for read-your-writes). Returns
   // kNotAggregated when the caller must write through instead (key not
   // pinned here, or aggregation off); kFoldedFlushDue additionally asks
-  // the caller to drain (Worker::FlushReplicas) because the key hit
-  // flush_max_folds or the node's oldest fold aged past flush_micros.
+  // the caller to drain (Worker::FlushReplicas) because the key hit its
+  // flush cap (SetFlushCap, default flush_max_folds) or the node's oldest
+  // fold aged past flush_micros.
   FoldOutcome FoldWrite(Key k, const Val* update)
       LAPSE_EXCLUDES(dirty_mu_);
+
+  // Per-key override of the count trigger (adaptive flush sizing): key k's
+  // accumulator drains once it holds `cap` folds instead of the global
+  // flush_max_folds. 0 restores the global cap. Pin() resets the override,
+  // so every pin starts from the configured behavior; the placement
+  // manager re-derives caps from observed write rates each tick. The age
+  // trigger (flush_micros) is unaffected -- it is what bounds a cold
+  // writer's flush delay no matter how high the cap scales.
+  void SetFlushCap(Key k, uint32_t cap);
+
+  // The count trigger currently in force for key k (the global cap unless
+  // overridden). Test observability.
+  uint32_t FlushCap(Key k);
 
   // Drains every key with pending folds: invokes sink(key, acc) with the
   // accumulated update (layout Length(key) values, borrowed only for the
@@ -249,6 +263,8 @@ class ReplicaManager {
   std::vector<std::unique_ptr<Val[]>> values_ LAPSE_GUARDED_BY_KEY_LATCH;
   std::vector<std::unique_ptr<Val[]>> acc_ LAPSE_GUARDED_BY_KEY_LATCH;
   std::vector<uint32_t> fold_counts_ LAPSE_GUARDED_BY_KEY_LATCH;
+  // Per-key count-trigger override; 0 = use flush_max_folds_.
+  std::vector<uint32_t> flush_caps_ LAPSE_GUARDED_BY_KEY_LATCH;
   // Write-through read-your-writes epoch (unused when aggregation is on):
   // pushes to k forwarded to the owner but not yet acked, and when the
   // count last returned to zero. Reset by Pin/Unpin.

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <utility>
 
+#include "ps/coalescer.h"
 #include "util/logging.h"
 #include "util/timer.h"
 #include "util/vec_ops.h"
@@ -91,6 +92,12 @@ void Server::Handle(Message& msg) {
     case MsgType::kPull:
     case MsgType::kPush:
       HandleOp(msg);
+      break;
+    case MsgType::kBatchOp:
+      HandleBatchOp(msg);
+      break;
+    case MsgType::kBatchResp:
+      HandleBatchResp(msg);
       break;
     case MsgType::kPullResp:
       HandlePullResp(msg);
@@ -232,6 +239,224 @@ void Server::HandleOp(Message& msg) {
     f.keys = groups_.TakeKeys(dst);
     f.vals = groups_.TakeVals(dst);
     endpoint_->Send(std::move(f));
+  }
+}
+
+void Server::HandleBatchOp(Message& msg) {
+  LAPSE_CHECK(!msg.aux.empty());
+  const size_t n_ops = static_cast<size_t>(msg.aux[0]);
+  LAPSE_CHECK_EQ(msg.aux.size(), 1 + n_ops + msg.keys.size());
+
+  batch_op_ids_.clear();
+  batch_op_traced_.clear();
+  for (size_t s = 0; s < n_ops; ++s) {
+    const int64_t word = msg.aux[1 + s];
+    batch_op_ids_.push_back(
+        static_cast<uint64_t>(word & ~Coalescer::kTracedOpBit));
+    batch_op_traced_.push_back((word & Coalescer::kTracedOpBit) != 0);
+  }
+
+  // The envelope's op_id is kImmediate, so Handle()'s generic hop recording
+  // skipped it; the hop belongs to every traced sub-op instead.
+  if (msg.traced && trace_ring_ != nullptr) {
+    const int64_t queue_ns = NowNanos() - msg.deliver_ns;
+    const int64_t net_ns = msg.deliver_ns - msg.send_ns;
+    for (size_t s = 0; s < n_ops; ++s) {
+      if (!batch_op_traced_[s]) continue;
+      const uint64_t uid =
+          obs::PackUid(msg.orig_node, msg.orig_thread, batch_op_ids_[s]);
+      trace_ring_->TryPush(obs::TraceEvent::Dur(uid, obs::Phase::kQueue,
+                                                queue_ns, ctx_->node));
+      trace_ring_->TryPush(
+          obs::TraceEvent::Dur(uid, obs::Phase::kNet, net_ns, ctx_->node));
+    }
+  }
+
+  std::vector<Key> reply_keys = BufferPool::GetKeys();
+  std::vector<Val> reply_vals = BufferPool::GetVals();
+  batch_reply_words_.clear();
+
+  const Val* vals = msg.val_data();
+  size_t val_off = 0;
+  for (size_t i = 0; i < msg.keys.size(); ++i) {
+    const Key k = msg.keys[i];
+    const int64_t word = msg.aux[1 + n_ops + i];
+    const bool is_push = (word & 1) != 0;
+    const uint64_t mask = static_cast<uint64_t>(word) >> 1;
+    const size_t len = is_push ? ctx_->layout->Length(k) : 0;
+    const Val* push_vals = is_push ? vals + val_off : nullptr;
+    val_off += len;
+
+    LatchGuard latch(ctx_->latches->ForKey(k));
+    const KeyState state = ctx_->StateOf(k);
+    if (state == KeyState::kOwned) {
+      const size_t klen = ctx_->layout->Length(k);
+      Val* slot = ctx_->store->GetOrCreate(k);
+      if (is_push) {
+        AddTo(slot, push_vals, klen);
+      } else {
+        reply_vals.insert(reply_vals.end(), slot, slot + klen);
+      }
+      reply_keys.push_back(k);
+      batch_reply_words_.push_back(word);
+      continue;
+    }
+    // The key is mid-relocation or our ownership view is stale: the entry
+    // splits back into per-sub-op single-key ops that travel the ordinary
+    // defer/forward/chase paths of HandleOp and get acked individually.
+    // (Pushes reference exactly one sub-op -- the coalescer never merges
+    // them -- so a payload is never duplicated here.)
+    NodeId fwd_dst = -1;
+    if (state != KeyState::kArriving) {
+      const NodeId dst = RouteDst(k);
+      if (dst != ctx_->node) fwd_dst = dst;
+      // dst == self is HandleOp's mid-relocation race: queue, the transfer
+      // that made the view point here drains it.
+    }
+    for (uint64_t mrem = mask; mrem != 0; mrem &= mrem - 1) {
+      const size_t s = static_cast<size_t>(__builtin_ctzll(mrem));
+      Message d;
+      d.type = is_push ? MsgType::kPush : MsgType::kPull;
+      d.orig_node = msg.orig_node;
+      d.orig_thread = msg.orig_thread;
+      d.op_id = batch_op_ids_[s];
+      d.traced = batch_op_traced_[s];
+      d.deliver_ns = msg.deliver_ns;  // deferral start for the stall phase
+      d.keys.push_back(k);
+      if (is_push) d.vals.assign(push_vals, push_vals + len);
+      if (fwd_dst >= 0) {
+        d.dst_node = fwd_dst;
+        d.hops = msg.hops + 1;
+        endpoint_->Send(std::move(d));
+      } else {
+        d.hops = msg.hops;
+        ctx_->QueueDeferred(k, std::move(d));
+      }
+    }
+  }
+
+  if (!reply_keys.empty()) {
+    // One response per batch, echoing the op table plus the served subset
+    // of entries. Sub-ops whose keys all split off get completed by the
+    // single-key acks instead (CompleteKeys with count 0 is a no-op).
+    Message r;
+    r.type = MsgType::kBatchResp;
+    r.dst_node = msg.orig_node;
+    r.orig_node = msg.orig_node;
+    r.orig_thread = msg.orig_thread;
+    r.op_id = OpTracker::kImmediate;
+    r.traced = msg.traced;
+    r.keys = std::move(reply_keys);
+    r.vals = std::move(reply_vals);
+    r.aux.reserve(1 + n_ops + batch_reply_words_.size());
+    r.aux.push_back(static_cast<int64_t>(n_ops));
+    r.aux.insert(r.aux.end(), msg.aux.begin() + 1,
+                 msg.aux.begin() + 1 + static_cast<ptrdiff_t>(n_ops));
+    r.aux.insert(r.aux.end(), batch_reply_words_.begin(),
+                 batch_reply_words_.end());
+    endpoint_->Send(std::move(r));
+  } else {
+    BufferPool::PutKeys(std::move(reply_keys));
+    BufferPool::PutVals(std::move(reply_vals));
+  }
+}
+
+void Server::HandleBatchResp(const Message& msg) {
+  LAPSE_CHECK(!msg.aux.empty());
+  const size_t n_ops = static_cast<size_t>(msg.aux[0]);
+  LAPSE_CHECK_EQ(msg.aux.size(), 1 + n_ops + msg.keys.size());
+  OpTracker& tracker = ctx_->TrackerFor(msg.orig_thread);
+
+  batch_op_ids_.clear();
+  batch_op_traced_.clear();
+  batch_counts_.assign(n_ops, 0);
+  for (size_t s = 0; s < n_ops; ++s) {
+    const int64_t word = msg.aux[1 + s];
+    batch_op_ids_.push_back(
+        static_cast<uint64_t>(word & ~Coalescer::kTracedOpBit));
+    batch_op_traced_.push_back((word & Coalescer::kTracedOpBit) != 0);
+  }
+
+  if (msg.traced && trace_ring_ != nullptr) {
+    const int64_t queue_ns = NowNanos() - msg.deliver_ns;
+    const int64_t net_ns = msg.deliver_ns - msg.send_ns;
+    for (size_t s = 0; s < n_ops; ++s) {
+      if (!batch_op_traced_[s]) continue;
+      const uint64_t uid =
+          obs::PackUid(msg.orig_node, msg.orig_thread, batch_op_ids_[s]);
+      trace_ring_->TryPush(obs::TraceEvent::Dur(uid, obs::Phase::kQueue,
+                                                queue_ns, ctx_->node));
+      trace_ring_->TryPush(
+          obs::TraceEvent::Dur(uid, obs::Phase::kNet, net_ns, ctx_->node));
+    }
+  }
+
+  // Phase A: scatter values/acks per entry, counting completed keys per
+  // sub-op. No sub-op is completed yet, so tracker slots stay valid (an op
+  // retires only once all its keys -- including the ones counted here --
+  // have been completed in phase B).
+  const Val* vals = msg.val_data();
+  size_t val_off = 0;
+  for (size_t i = 0; i < msg.keys.size(); ++i) {
+    const Key k = msg.keys[i];
+    const int64_t word = msg.aux[1 + n_ops + i];
+    const bool is_push = (word & 1) != 0;
+    const uint64_t mask = static_cast<uint64_t>(word) >> 1;
+
+    if (is_push) {
+      if (ctx_->replicas && !ctx_->replicas->aggregates_writes()) {
+        ctx_->replicas->NoteWriteAcked(k);
+      }
+      for (uint64_t mrem = mask; mrem != 0; mrem &= mrem - 1) {
+        ++batch_counts_[static_cast<size_t>(__builtin_ctzll(mrem))];
+      }
+      if (ctx_->cache) ctx_->cache->Update(k, msg.src_node);
+      continue;
+    }
+
+    const size_t len = ctx_->layout->Length(k);
+    const bool install = ctx_->replicas && ctx_->replicas->IsPinned(k);
+    int64_t min_issue = 0;
+    uint64_t refresh_uid = 0;
+    for (uint64_t mrem = mask; mrem != 0; mrem &= mrem - 1) {
+      const size_t s = static_cast<size_t>(__builtin_ctzll(mrem));
+      // Same-key fan-out: every referencing sub-op gets its own copy of
+      // the single response entry.
+      Val* dst = tracker.PullDst(batch_op_ids_[s], k);
+      LAPSE_CHECK(dst != nullptr);
+      std::memcpy(dst, vals + val_off, len * sizeof(Val));
+      ++batch_counts_[s];
+      if (install) {
+        // Conservative write-epoch stamp: the earliest referencing
+        // sub-op's issue time (see HandlePullResp).
+        const int64_t issue = tracker.IssueNs(batch_op_ids_[s]);
+        if (min_issue == 0 || issue < min_issue) min_issue = issue;
+        if (refresh_uid == 0 && batch_op_traced_[s]) {
+          refresh_uid =
+              obs::PackUid(msg.orig_node, msg.orig_thread, batch_op_ids_[s]);
+        }
+      }
+    }
+    if (install) {
+      ctx_->replicas->Install(k, vals + val_off, min_issue);
+      if (refresh_uid != 0 && trace_ring_ != nullptr) {
+        trace_ring_->TryPush(obs::TraceEvent::Mark(
+            refresh_uid, obs::Phase::kReplicaRefresh, ctx_->node));
+      }
+    }
+    if (ctx_->cache) ctx_->cache->Update(k, msg.src_node);
+    val_off += len;
+  }
+
+  // Phase B: complete each sub-op's served keys in one tracker transaction.
+  const int64_t now = NowNanos();
+  for (size_t s = 0; s < n_ops; ++s) {
+    if (tracker.CompleteKeys(batch_op_ids_[s], batch_counts_[s]) &&
+        batch_op_traced_[s] && trace_ring_ != nullptr) {
+      trace_ring_->TryPush(obs::TraceEvent::Complete(
+          obs::PackUid(msg.orig_node, msg.orig_thread, batch_op_ids_[s]),
+          now, ctx_->node));
+    }
   }
 }
 

@@ -45,6 +45,17 @@ class Server {
   // process-here / queue-arriving / forward-elsewhere per key.
   void HandleOp(net::Message& msg);
 
+  // kBatchOp: a worker coalescer's multi-op batch (ps::Coalescer wire
+  // format). Owned keys are served in entry order and acked through one
+  // kBatchResp; entries caught mid-relocation split into the single-key
+  // defer/forward paths of HandleOp, carrying their sub-op's own op id, so
+  // the existing chase machinery completes them individually.
+  void HandleBatchOp(net::Message& msg);
+  // kBatchResp at the origin node: scatter served pull values into each
+  // referencing sub-op's buffer (same-key pulls fan out from one entry),
+  // refresh replicas/caches, and complete each sub-op in the tracker.
+  void HandleBatchResp(const net::Message& msg);
+
   // Home-node side of localize (message 1 -> message 2). Under the
   // broadcast-relocations strategy this arrives directly at the believed
   // owner instead.
@@ -127,6 +138,12 @@ class Server {
   // groups_: ForwardReplicaFolds runs inside handlers that are mid-use of
   // the grouping scratch (HandleLocalize).
   std::vector<Val> fold_buf_;
+  // Reusable scratch of the batch handlers (sub-op table decode, per-
+  // sub-op completion counts, reply entry words); cleared per message.
+  std::vector<uint64_t> batch_op_ids_;
+  std::vector<uint8_t> batch_op_traced_;
+  std::vector<size_t> batch_counts_;
+  std::vector<int64_t> batch_reply_words_;
 
   // Which nodes hold a replica of each key homed here. Server-thread-only
   // (registrations and ownership moves both arrive on this thread), so no

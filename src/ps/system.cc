@@ -89,6 +89,10 @@ PsSystem::PsSystem(Config config)
       if (nodes_[n]->replicas) {
         nodes_[n]->replicas->SetReadAgeHistogram(&obs_->ReplicaReadAge());
       }
+      // All coalescers (one per worker) feed the same two histograms;
+      // Histogram::Add is lock-free multi-producer-safe.
+      nodes_[n]->coalesce_batch_size_hist = &obs_->CoalesceBatchSize();
+      nodes_[n]->coalesce_wait_ns_hist = &obs_->CoalesceWaitNs();
     }
   }
   // One Server (and drain thread) per (node, shard), indexed n * S + s.
@@ -161,6 +165,9 @@ void PsSystem::RegisterMetrics() {
     reg.AddCounter(p + "queued_local_ops", &s.queued_local_ops);
     reg.AddCounter(p + "replica_key_reads", &s.replica_key_reads);
     reg.AddCounter(p + "replica_key_writes", &s.replica_key_writes);
+    reg.AddCounter(p + "coalesced_ops", &s.coalesced_ops);
+    reg.AddCounter(p + "coalesce_batches", &s.coalesce_batches);
+    reg.AddCounter(p + "coalesce_forced_drains", &s.coalesce_forced_drains);
     // ...while server-written fields are per drain thread, registered under
     // node{n}.shard{s}.* so no shard's work is double-counted or sampled
     // only through shard 0. The per-message-type backlog counters: count =

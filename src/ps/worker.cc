@@ -49,6 +49,13 @@ Worker::Worker(NodeContext* ctx, net::Network* network,
   // One group slot per (destination node, server shard).
   scratch_.groups.Resize(static_cast<size_t>(ctx_->layout->num_nodes()) *
                          static_cast<size_t>(num_shards_));
+  // Broadcast-ops has no point-to-point destination to batch for; every
+  // other strategy routes remote ops through the coalescer when enabled.
+  if (ctx_->config->coalescing &&
+      ctx_->config->strategy != LocationStrategy::kBroadcastOps) {
+    coalescer_ = std::make_unique<Coalescer>(ctx_, endpoint_.get(), thread_,
+                                             trace_ring_);
+  }
 }
 
 Worker::~Worker() {
@@ -56,6 +63,9 @@ Worker::~Worker() {
   // sibling worker's -- drains are idempotent) before draining tracked
   // ops, so a phase boundary never strands aggregated updates locally.
   FlushReplicas();
+  // Release any batch the coalescer still holds: its queued sub-ops can
+  // never complete unsent, and WaitAll below waits on them.
+  if (coalescer_) coalescer_->DrainAll();
   tracker_->WaitAll();
 }
 
@@ -122,6 +132,9 @@ NodeId Worker::RemoteDst(Key k) const {
 
 uint64_t Worker::PullAsync(const std::vector<Key>& keys, Val* dst) {
   CheckDistinct(keys);
+  // Age/count check on every op -- including ones that turn out all-local,
+  // so a worker gone local-only cannot strand a held batch past its delay.
+  if (coalescer_) coalescer_->MaybeDrain();
   if (SampleThisOp()) RecordAccessSample(keys, /*is_write=*/false);
   const bool traced = TraceThisOp();
   const int64_t t_issue = traced ? NowNanos() : 0;
@@ -188,6 +201,7 @@ uint64_t Worker::PullAsync(const std::vector<Key>& keys, Val* dst) {
     }
   }
   const uint64_t op = tracker_->Create(dst, sc.key_offsets, NowNanos());
+  if (coalescer_) coalescer_->BeginOp(op, traced);
 
   size_t inline_done = 0;
   int64_t local_reads = static_cast<int64_t>(done) - replica_reads;
@@ -241,6 +255,8 @@ uint64_t Worker::PullAsync(const std::vector<Key>& keys, Val* dst) {
     ++remote_reads;
     if (broadcast_ops) {
       sc.broadcast_keys.push_back(k);
+    } else if (coalescer_) {
+      coalescer_->AddPull(GroupSlot(RemoteDst(k), k), k);
     } else {
       sc.groups.AddKey(GroupSlot(RemoteDst(k), k), k);
     }
@@ -265,6 +281,7 @@ uint64_t Worker::PullAsync(const std::vector<Key>& keys, Val* dst) {
   if (!sc.broadcast_keys.empty()) {
     BroadcastOp(MsgType::kPull, op, traced);
   }
+  if (coalescer_) coalescer_->EndOp();
 
   const bool done_now = tracker_->CompleteKeys(op, inline_done);
   if (traced) {
@@ -276,6 +293,7 @@ uint64_t Worker::PullAsync(const std::vector<Key>& keys, Val* dst) {
 uint64_t Worker::PushAsync(const std::vector<Key>& keys,
                            const Val* updates) {
   CheckDistinct(keys);
+  if (coalescer_) coalescer_->MaybeDrain();
   if (SampleThisOp()) RecordAccessSample(keys, /*is_write=*/true);
   const bool traced = TraceThisOp();
   const int64_t t_issue = traced ? NowNanos() : 0;
@@ -344,6 +362,7 @@ uint64_t Worker::PushAsync(const std::vector<Key>& keys,
     }
   }
   const uint64_t op = tracker_->Create(nullptr, sc.key_offsets, NowNanos());
+  if (coalescer_) coalescer_->BeginOp(op, traced);
 
   size_t inline_done = 0;
   // The fast-path prefix mixes owned writes and replica folds; only the
@@ -408,6 +427,8 @@ uint64_t Worker::PushAsync(const std::vector<Key>& keys,
       sc.broadcast_keys.push_back(k);
       sc.broadcast_vals.insert(sc.broadcast_vals.end(), updates + off,
                                updates + off + len);
+    } else if (coalescer_) {
+      coalescer_->AddPush(GroupSlot(RemoteDst(k), k), k, updates + off, len);
     } else {
       const NodeId slot = GroupSlot(RemoteDst(k), k);
       sc.groups.AddKey(slot, k);
@@ -435,6 +456,7 @@ uint64_t Worker::PushAsync(const std::vector<Key>& keys,
   if (!sc.broadcast_keys.empty()) {
     BroadcastOp(MsgType::kPush, op, traced);
   }
+  if (coalescer_) coalescer_->EndOp();
 
   const bool done_now = tracker_->CompleteKeys(op, inline_done);
   if (traced) {
@@ -448,6 +470,10 @@ uint64_t Worker::PushAsync(const std::vector<Key>& keys,
 
 uint64_t Worker::LocalizeAsync(const std::vector<Key>& keys) {
   if (!dpa_enabled_) return kImmediate;
+  // A relocation must not overtake this worker's held pushes to the same
+  // key (the moved key's value would miss them until the forward chase
+  // lands); localize is rare, so a full drain is the simple fix.
+  if (coalescer_) coalescer_->DrainAll();
   const bool traced = TraceThisOp();
   const int64_t t_issue = traced ? NowNanos() : 0;
 

@@ -6,6 +6,7 @@
 
 #include "net/network.h"
 #include "obs/timeline.h"
+#include "ps/coalescer.h"
 #include "ps/dest_groups.h"
 #include "ps/node_context.h"
 #include "ps/op_tracker.h"
@@ -102,9 +103,23 @@ class Worker {
   // (kImmediate when there was nothing to flush).
   uint64_t FlushReplicas();
 
-  void Wait(uint64_t op) { tracker_->Wait(op); }
-  void WaitAll() { tracker_->WaitAll(); }
-  bool IsDone(uint64_t op) { return tracker_->IsDone(op); }
+  // Wait/IsDone release the coalescer batch still holding the op (a queued
+  // sub-op can never complete before its batch is sent); WaitAll drains
+  // every held batch, so barriers never stall on the delay trigger. Ops
+  // already on the wire -- and kImmediate -- skip the drain, which is what
+  // lets windowed async workloads actually accumulate batches.
+  void Wait(uint64_t op) {
+    if (coalescer_) coalescer_->DrainIfQueued(op);
+    tracker_->Wait(op);
+  }
+  void WaitAll() {
+    if (coalescer_) coalescer_->DrainAll();
+    tracker_->WaitAll();
+  }
+  bool IsDone(uint64_t op) {
+    if (coalescer_) coalescer_->DrainIfQueued(op);
+    return tracker_->IsDone(op);
+  }
 
   // --- synchronous wrappers ---------------------------------------------
   void Pull(const std::vector<Key>& keys, Val* dst) {
@@ -253,6 +268,9 @@ class Worker {
   uint32_t trace_period_ = 0;
   uint32_t trace_countdown_ = 0;
   uint64_t trace_inline_seq_ = 0;  // uid source for inline-completed ops
+  // Bounded-delay request coalescer (null unless Config::coalescing, which
+  // keeps the disabled cost at one branch per op).
+  std::unique_ptr<Coalescer> coalescer_;
 
   // Slot of key k for fast-path access; devirtualized for dense stores.
   Val* Slot(Key k) {

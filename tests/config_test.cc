@@ -275,6 +275,105 @@ TEST(ConfigValidationDeathTest, OverflowingUnreplicateColdWindowsDies) {
   EXPECT_DEATH(cfg.Normalize(), "unreplicate_cold_windows");
 }
 
+// ---- request coalescing knobs ------------------------------------------
+
+TEST(ConfigValidationTest, CoalescingDefaultsAreValid) {
+  ps::Config cfg = ValidConfig();
+  cfg.coalescing = true;
+  cfg.Normalize();  // must not die
+}
+
+TEST(ConfigValidationDeathTest, ZeroCoalesceMaxOpsDies) {
+  ps::Config cfg = ValidConfig();
+  cfg.coalescing = true;
+  cfg.coalesce_max_ops = 0;
+  EXPECT_DEATH(cfg.Normalize(), "coalesce_max_ops must be >= 1");
+}
+
+TEST(ConfigValidationDeathTest, OversizedCoalesceMaxOpsDies) {
+  // 62 is the mask width of the batch wire format, not a tunable.
+  ps::Config cfg = ValidConfig();
+  cfg.coalescing = true;
+  cfg.coalesce_max_ops = 63;
+  EXPECT_DEATH(cfg.Normalize(), "coalesce_max_ops must be <= 62");
+}
+
+TEST(ConfigValidationDeathTest, NonPositiveCoalesceDelayDies) {
+  ps::Config cfg = ValidConfig();
+  cfg.coalescing = true;
+  cfg.coalesce_delay_micros = 0;
+  EXPECT_DEATH(cfg.Normalize(), "coalesce_delay_micros must be positive");
+}
+
+TEST(ConfigValidationDeathTest, CoalesceDelayAboveStalenessBoundDies) {
+  // Pulls held past the staleness bound would install replica copies
+  // older than the bounded-staleness contract implies.
+  ps::Config cfg = ValidConfig();
+  cfg.coalescing = true;
+  cfg.replication = true;
+  cfg.replica_staleness_micros = 100;
+  cfg.replica_flush_micros = 100;  // keep the flush bound check quiet
+  cfg.coalesce_delay_micros = 101;
+  EXPECT_DEATH(cfg.Normalize(), "coalesce_delay_micros must not exceed");
+}
+
+TEST(ConfigValidationTest, CoalesceDelayAtStalenessBoundPasses) {
+  ps::Config cfg = ValidConfig();
+  cfg.coalescing = true;
+  cfg.replication = true;
+  cfg.replica_staleness_micros = 100;
+  cfg.replica_flush_micros = 100;  // keep the flush bound check quiet
+  cfg.coalesce_delay_micros = 100;
+  cfg.Normalize();  // must not die
+}
+
+TEST(ConfigValidationTest, CoalesceKnobsIgnoredWhenDisabled) {
+  ps::Config cfg = ValidConfig();
+  cfg.coalescing = false;
+  cfg.coalesce_max_ops = 0;
+  cfg.coalesce_delay_micros = -5;
+  cfg.Normalize();  // must not die
+}
+
+// ---- adaptive flush sizing ---------------------------------------------
+
+ps::Config ValidAdaptiveFlushConfig() {
+  ps::Config cfg = ValidAdaptiveConfig();
+  cfg.replication = true;
+  cfg.adaptive.adaptive_flush = true;
+  return cfg;
+}
+
+TEST(ConfigValidationTest, AdaptiveFlushDefaultsAreValid) {
+  ps::Config cfg = ValidAdaptiveFlushConfig();
+  cfg.Normalize();  // must not die
+}
+
+TEST(ConfigValidationDeathTest, AdaptiveFlushNeedsAggregation) {
+  ps::Config cfg = ValidAdaptiveFlushConfig();
+  cfg.replica_write_aggregation = false;
+  EXPECT_DEATH(cfg.Normalize(), "adaptive_flush");
+}
+
+TEST(ConfigValidationDeathTest, ZeroFlushFoldsFloorDies) {
+  ps::Config cfg = ValidAdaptiveFlushConfig();
+  cfg.adaptive.flush_folds_floor = 0;
+  EXPECT_DEATH(cfg.Normalize(), "flush_folds_floor");
+}
+
+TEST(ConfigValidationDeathTest, FlushFloorAboveGlobalCapDies) {
+  ps::Config cfg = ValidAdaptiveFlushConfig();
+  cfg.replica_flush_max_folds = 8;
+  cfg.adaptive.flush_folds_floor = 9;
+  EXPECT_DEATH(cfg.Normalize(), "flush_folds_floor");
+}
+
+TEST(ConfigValidationDeathTest, NonPositiveSaturationScoreDies) {
+  ps::Config cfg = ValidAdaptiveFlushConfig();
+  cfg.adaptive.flush_saturation_score = 0.0;
+  EXPECT_DEATH(cfg.Normalize(), "flush_saturation_score");
+}
+
 // ---- observability ------------------------------------------------------
 
 TEST(ConfigValidationTest, ObsEnabledWithDefaultsPasses) {

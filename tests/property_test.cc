@@ -30,6 +30,7 @@ struct SweepParam {
   bool caches;
   bool latency;  // zero vs small LAN latency
   int server_threads = 1;  // server drain threads (key-range shards)
+  bool coalescing = false;  // bounded-delay request coalescing
 };
 
 std::string SweepName(const ::testing::TestParamInfo<SweepParam>& info) {
@@ -43,6 +44,7 @@ std::string SweepName(const ::testing::TestParamInfo<SweepParam>& info) {
   if (p.server_threads > 1) {
     s += "S" + std::to_string(p.server_threads);
   }
+  if (p.coalescing) s += "Coal";
   return s;
 }
 
@@ -67,6 +69,7 @@ class PsPropertyTest : public ::testing::TestWithParam<SweepParam> {
     }
     cfg.latency.idle_spin_ns = 20'000;  // keep test CPU usage sane
     cfg.server_threads = p.server_threads;
+    cfg.coalescing = p.coalescing;
     return cfg;
   }
 };
@@ -185,7 +188,17 @@ INSTANTIATE_TEST_SUITE_P(
         SweepParam{4, 2, Architecture::kLapse, StorageKind::kDense, true,
                    true, 4},
         SweepParam{2, 2, Architecture::kClassic, StorageKind::kDense, false,
-                   false, 4}),
+                   false, 4},
+        // Coalescing sweeps: the same invariants must hold when remote ops
+        // ride batched envelopes -- in {1,4}-shard configs (shard-pure
+        // batches), and under kClassic where every op takes the coalesced
+        // remote path.
+        SweepParam{2, 2, Architecture::kLapse, StorageKind::kDense, false,
+                   false, 1, true},
+        SweepParam{3, 2, Architecture::kLapse, StorageKind::kSparse, false,
+                   false, 4, true},
+        SweepParam{2, 2, Architecture::kClassic, StorageKind::kDense, false,
+                   false, 1, true}),
     SweepName);
 
 // Relocation-specific properties under a hostile interleaving: every node
@@ -253,6 +266,9 @@ TEST(ReplicaSchedulePropertyTest, AggregatedPushesConserveUnderRandomSchedules) 
     // the fold/flush/invalidate races must conserve regardless of how
     // keys spread over drain threads.
     cfg.server_threads = (schedule % 2 == 0) ? 1 : 4;
+    // Odd schedules also coalesce remote ops, so the flush/invalidate
+    // churn interleaves with batched envelopes and their forced drains.
+    cfg.coalescing = (schedule % 2 == 1);
     cfg.replication = true;
     cfg.replica_staleness_micros = 50'000'000;
     // Tight flush triggers so trigger-driven flushes interleave with the
